@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+scaled-down synthetic ledger.  The dataset is session-scoped so the whole suite
+builds it once, and every bench writes its formatted output both to stdout and
+to ``benchmarks/results/<name>.txt`` so the regenerated rows survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, build_experiment_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-wide scale: small enough that the full suite finishes in minutes,
+#: large enough that every category has several positive samples.
+BENCH_CONFIG = ExperimentConfig(scale=0.35, top_k=40, max_nodes_per_subgraph=40, seed=7)
+
+#: Number of training epochs used by every learned model in the benches.
+BENCH_EPOCHS = 6
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    dataset, _ledger = build_experiment_dataset(BENCH_CONFIG)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def bench_ledger():
+    _dataset, ledger = build_experiment_dataset(BENCH_CONFIG)
+    return ledger
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

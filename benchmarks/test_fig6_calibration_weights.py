@@ -1,0 +1,43 @@
+"""Figure 6: adaptive calibration weights per method, branch and account type.
+
+The paper observes that (a) the six methods receive similar weights on the GSG
+branch, (b) weights differ much more on the LDG branch, and (c) non-parametric
+methods collectively receive at least as much weight as parametric ones.  The
+bench regenerates the weight table and checks the aggregate shape (c) plus
+basic normalisation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPOCHS, record_result
+from repro.calibration import NONPARAMETRIC_METHODS, PARAMETRIC_METHODS
+from repro.experiments import calibration_weight_table
+from repro.experiments.runner import fast_dbg4eth_config
+
+CATEGORIES = ["exchange", "ico-wallet", "mining", "phish/hack"]
+
+
+def run(dataset):
+    return calibration_weight_table(
+        dataset, CATEGORIES, lambda: fast_dbg4eth_config(epochs=BENCH_EPOCHS), seed=7)
+
+
+def test_fig6_calibration_weights(benchmark, bench_dataset):
+    weights = benchmark.pedantic(run, args=(bench_dataset,), rounds=1, iterations=1)
+
+    methods = PARAMETRIC_METHODS + NONPARAMETRIC_METHODS
+    lines = ["Figure 6 — adaptive calibration weights (per category and branch)"]
+    for category, branches in weights.items():
+        for branch, method_weights in branches.items():
+            row = "  ".join(f"{m}={method_weights[m]:+.2f}" for m in methods)
+            lines.append(f"{category:<12} {branch.upper():<4} {row}")
+    record_result("fig6_calibration_weights", "\n".join(lines))
+
+    nonparam_share = []
+    for category, branches in weights.items():
+        for branch, method_weights in branches.items():
+            assert set(method_weights) == set(methods)
+            assert abs(sum(method_weights.values()) - 1.0) < 1e-9
+            nonparam_share.append(sum(method_weights[m] for m in NONPARAMETRIC_METHODS))
+    # Paper shape: non-parametric calibration carries the larger share overall.
+    assert np.mean(nonparam_share) >= 0.5

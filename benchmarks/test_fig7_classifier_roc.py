@@ -1,0 +1,38 @@
+"""Figure 7: ROC/AUC of the five candidate final classifiers.
+
+The paper compares LightGBM, XGBoost, random forest, AdaBoost and an MLP as the
+final classifier over the calibrated probabilities and reports AUC values above
+0.95 with LightGBM among the best.  The bench regenerates the AUC per
+classifier on the phish/hack task.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPOCHS, record_result
+from repro.experiments import classifier_roc_study
+from repro.experiments.runner import fast_dbg4eth_config
+
+
+def run(dataset):
+    return classifier_roc_study(dataset, "phish/hack",
+                                lambda: fast_dbg4eth_config(epochs=BENCH_EPOCHS), seed=7)
+
+
+def test_fig7_classifier_roc(benchmark, bench_dataset):
+    study = benchmark.pedantic(run, args=(bench_dataset,), rounds=1, iterations=1)
+
+    lines = ["Figure 7 — final-classifier ROC study (phish/hack)",
+             f"{'classifier':<16}{'AUC':>8}"]
+    for name, entry in sorted(study.items(), key=lambda kv: -kv[1]["auc"]):
+        lines.append(f"{name:<16}{entry['auc']:8.4f}")
+    record_result("fig7_classifier_roc", "\n".join(lines))
+
+    assert set(study) == {"lightgbm", "xgboost", "random_forest", "adaboost", "mlp"}
+    for entry in study.values():
+        assert 0.0 <= entry["auc"] <= 1.0
+        assert np.all(np.diff(entry["fpr"]) >= 0)
+    # Paper shape: LightGBM is competitive with the best alternative final
+    # classifier.  No absolute AUC floor is asserted because the held-out split
+    # at bench scale holds fewer than ten graphs (see EXPERIMENTS.md).
+    best = max(entry["auc"] for entry in study.values())
+    assert study["lightgbm"]["auc"] >= best - 0.3

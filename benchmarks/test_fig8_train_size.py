@@ -1,0 +1,41 @@
+"""Figure 8: effect of the training-set size on bridge / DeFi performance (RQ4).
+
+The paper varies the training fraction from 10% to 50% and finds that a small
+fraction already reaches near-final performance.  The bench regenerates the
+sweep and checks that the F1 at 50% training data is not dramatically better
+than the best small-fraction F1 (i.e. performance saturates early).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPOCHS, record_result
+from repro.experiments import run_training_size_sweep
+from repro.experiments.runner import fast_dbg4eth_config
+
+FRACTIONS = (0.2, 0.3, 0.5)
+
+
+def run(dataset):
+    results = {}
+    for category in ("bridge", "defi"):
+        results[category] = run_training_size_sweep(
+            dataset, category, fractions=FRACTIONS,
+            config_factory=lambda: fast_dbg4eth_config(epochs=BENCH_EPOCHS), seed=7)
+    return results
+
+
+def test_fig8_training_size_sweep(benchmark, bench_dataset):
+    results = benchmark.pedantic(run, args=(bench_dataset,), rounds=1, iterations=1)
+
+    lines = ["Figure 8 — F1 vs training fraction (bridge and defi)",
+             f"{'category':<10}" + "".join(f"{f:>10.0%}" for f in FRACTIONS)]
+    for category, sweep in results.items():
+        lines.append(f"{category:<10}" + "".join(f"{sweep[f]['f1'] * 100:10.2f}" for f in FRACTIONS))
+    record_result("fig8_train_size", "\n".join(lines))
+
+    for category, sweep in results.items():
+        f1_values = np.array([sweep[f]["f1"] for f in FRACTIONS])
+        assert np.all((f1_values >= 0.0) & (f1_values <= 1.0))
+        # Paper shape: a small labelled fraction already performs close to the
+        # largest fraction (early saturation).
+        assert f1_values[:-1].max() >= f1_values[-1] - 0.25, category

@@ -1,0 +1,30 @@
+"""Table II: dataset statistics per account category.
+
+Regenerates the per-category sample counts and average subgraph sizes that the
+paper reports for its Ethereum label crawl, on the synthetic ledger.
+"""
+
+from benchmarks.conftest import record_result
+
+
+def build_statistics(dataset):
+    return dataset.statistics()
+
+
+def test_table2_dataset_statistics(benchmark, bench_dataset):
+    stats = benchmark.pedantic(build_statistics, args=(bench_dataset,), rounds=1, iterations=1)
+
+    lines = ["Table II — dataset statistics (synthetic ledger)",
+             f"{'category':<14}{'positives':>10}{'graphs':>10}{'avg nodes':>12}{'avg edges':>12}"]
+    for category, row in sorted(stats.items()):
+        lines.append(f"{category:<14}{row['num_positive']:>10.0f}{row['num_graphs']:>10.0f}"
+                     f"{row['avg_nodes']:>12.1f}{row['avg_edges']:>12.1f}")
+    record_result("table2_dataset_stats", "\n".join(lines))
+
+    assert set(stats) == {"exchange", "ico-wallet", "mining", "phish/hack", "bridge", "defi"}
+    for row in stats.values():
+        assert row["num_positive"] >= 2
+        assert row["avg_nodes"] > 1.0
+        assert row["avg_edges"] > 0.0
+    # Phish/hack is the dominant category, as in the paper (1991 of 2643 labels).
+    assert stats["phish/hack"]["num_positive"] == max(r["num_positive"] for r in stats.values())

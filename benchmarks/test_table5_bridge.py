@@ -1,0 +1,48 @@
+"""Table V: account classification results on the novel *bridge* category."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPOCHS, record_result
+from repro.baselines import (
+    BERT4ETHClassifier,
+    DeepWalkClassifier,
+    EthidentClassifier,
+    GCNClassifier,
+    GINClassifier,
+    GraphSAGEClassifier,
+    I2BGNNClassifier,
+    TEGDetectorClassifier,
+)
+from repro.experiments import format_table, run_baseline_comparison
+from repro.experiments.runner import fast_dbg4eth_config
+
+
+def bench_baselines():
+    return {
+        "DeepWalk": DeepWalkClassifier(dim=8, walk_length=8, walks_per_node=1, seed=0),
+        "GCN": GCNClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "GIN": GINClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "GraphSAGE": GraphSAGEClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "I2BGNN": I2BGNNClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "Ethident": EthidentClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "TEGDetector": TEGDetectorClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+        "BERT4ETH": BERT4ETHClassifier(hidden_dim=16, epochs=BENCH_EPOCHS, seed=0),
+    }
+
+
+def run(dataset):
+    return run_baseline_comparison(dataset, ["bridge"], baselines=bench_baselines(),
+                                   include_dbg4eth=True,
+                                   dbg4eth_config=fast_dbg4eth_config(epochs=BENCH_EPOCHS),
+                                   seed=7)
+
+
+def test_table5_bridge(benchmark, bench_dataset):
+    results = benchmark.pedantic(run, args=(bench_dataset,), rounds=1, iterations=1)
+    record_result("table5_bridge",
+                  format_table(results, title="Table V — bridge accounts (F1)", metric="f1"))
+
+    dbg_f1 = results["DBG4ETH"]["bridge"]["f1"]
+    others = [per_cat["bridge"]["f1"] for name, per_cat in results.items() if name != "DBG4ETH"]
+    assert dbg_f1 >= np.median(others) - 0.15
+    assert dbg_f1 >= 0.3

@@ -1,0 +1,46 @@
+"""Novel account types (RQ4): bridge and DeFi classification with limited labels.
+
+The cryptocurrency market keeps producing new account roles.  The paper adds
+two novel categories — cross-chain bridges and DeFi users — and shows that
+DBG4ETH reaches near-perfect accuracy with only 20-30% of the labels.  This
+example repeats that study on the synthetic ledger: for each novel category it
+sweeps the training fraction and reports how quickly the F1-score saturates
+(the Figure 8 experiment).
+
+Run with::
+
+    python examples/novel_account_types.py
+"""
+
+from __future__ import annotations
+
+from repro.chain import AccountCategory, LedgerConfig, generate_ledger
+from repro.data import DatasetConfig, SubgraphDatasetBuilder
+from repro.experiments.runner import fast_dbg4eth_config, run_training_size_sweep
+
+
+def main() -> None:
+    print("Generating ledger with bridge and DeFi activity ...")
+    ledger = generate_ledger(LedgerConfig().scaled(0.4))
+    dataset = SubgraphDatasetBuilder(
+        ledger, DatasetConfig(top_k=50, max_nodes_per_subgraph=45)).build()
+
+    fractions = (0.1, 0.2, 0.3, 0.4, 0.5)
+    for category in (AccountCategory.BRIDGE, AccountCategory.DEFI):
+        print(f"\n=== {category.value} (training-fraction sweep, Figure 8) ===")
+        results = run_training_size_sweep(
+            dataset, category, fractions=fractions,
+            config_factory=lambda: fast_dbg4eth_config(epochs=6))
+        print(f"{'train fraction':>15} {'precision':>10} {'recall':>10} {'f1':>10} {'accuracy':>10}")
+        for fraction in fractions:
+            report = results[fraction]
+            print(f"{fraction:>14.0%} {report['precision'] * 100:10.2f} "
+                  f"{report['recall'] * 100:10.2f} {report['f1'] * 100:10.2f} "
+                  f"{report['accuracy'] * 100:10.2f}")
+        saturation = next((f for f in fractions if results[f]["f1"] >= 0.95 * results[fractions[-1]]["f1"]),
+                          fractions[-1])
+        print(f"F1 reaches 95% of its final value with only {saturation:.0%} of the labels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Phishing-account detection: DBG4ETH vs single-branch ablations and a baseline.
+
+The paper's motivating workload is flagging illicit accounts (phish/hack is the
+largest labelled category).  This example trains the full double-graph model,
+its two single-branch ablations and a GCN baseline on the phish/hack
+one-vs-rest task, then ranks the held-out accounts by predicted risk.
+
+Run with::
+
+    python examples/phishing_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DBG4ETH
+from repro.baselines import GCNClassifier
+from repro.chain import LedgerConfig, generate_ledger
+from repro.data import DatasetConfig, SubgraphDatasetBuilder, train_test_split
+from repro.experiments.runner import fast_dbg4eth_config
+from repro.metrics import auc_score, classification_report
+
+
+def build_task():
+    ledger = generate_ledger(LedgerConfig().scaled(0.35))
+    dataset = SubgraphDatasetBuilder(
+        ledger, DatasetConfig(top_k=50, max_nodes_per_subgraph=45)).build()
+    samples, labels = dataset.binary_task("phish/hack")
+    return train_test_split(samples, labels, test_fraction=0.3, seed=1)
+
+
+def main() -> None:
+    train_s, train_y, test_s, test_y = build_task()
+    print(f"Training on {len(train_s)} subgraphs, evaluating on {len(test_s)}.\n")
+
+    contenders = {
+        "DBG4ETH (double graph)": DBG4ETH(fast_dbg4eth_config(epochs=8)),
+        "GSG branch only": DBG4ETH(fast_dbg4eth_config(epochs=8, use_ldg=False)),
+        "LDG branch only": DBG4ETH(fast_dbg4eth_config(epochs=8, use_gsg=False)),
+        "GCN baseline": GCNClassifier(hidden_dim=16, epochs=10),
+    }
+
+    scored: dict[str, np.ndarray] = {}
+    print(f"{'model':<28} {'precision':>9} {'recall':>9} {'f1':>9} {'accuracy':>9} {'auc':>7}")
+    for name, model in contenders.items():
+        model.fit(train_s, train_y)
+        report = classification_report(test_y, model.predict(test_s))
+        probabilities = model.predict_proba(test_s)
+        scored[name] = probabilities
+        auc = auc_score(test_y, probabilities)
+        print(f"{name:<28} {report['precision'] * 100:9.2f} {report['recall'] * 100:9.2f} "
+              f"{report['f1'] * 100:9.2f} {report['accuracy'] * 100:9.2f} {auc:7.3f}")
+
+    print("\nTop-5 highest-risk accounts according to DBG4ETH:")
+    risk = scored["DBG4ETH (double graph)"]
+    order = np.argsort(-risk)[:5]
+    for rank, idx in enumerate(order, start=1):
+        sample = test_s[idx]
+        truth = "phish/hack" if test_y[idx] == 1 else (sample.category or "unlabeled")
+        print(f"  {rank}. {sample.center}  risk={risk[idx]:.3f}  true category: {truth}")
+
+
+if __name__ == "__main__":
+    main()

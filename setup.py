@@ -1,0 +1,4 @@
+"""Legacy setup shim so `python setup.py develop` works on offline machines without `wheel`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""DBG4ETH reproduction: double graph inference-based account de-anonymization.
+
+Top-level convenience imports::
+
+    from repro import DBG4ETH, generate_ledger, SubgraphDatasetBuilder
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.chain import LedgerConfig, generate_ledger, AccountCategory
+from repro.core import DBG4ETH, DBG4ETHConfig
+from repro.data import DatasetConfig, SubgraphDataset, SubgraphDatasetBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBG4ETH",
+    "DBG4ETHConfig",
+    "LedgerConfig",
+    "generate_ledger",
+    "AccountCategory",
+    "DatasetConfig",
+    "SubgraphDataset",
+    "SubgraphDatasetBuilder",
+    "__version__",
+]

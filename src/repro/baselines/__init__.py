@@ -1,0 +1,73 @@
+"""Baseline account-identification methods compared against DBG4ETH (Table III).
+
+Three families, matching Section V-A3:
+
+* Graph-embedding methods: :class:`DeepWalkClassifier`, :class:`Node2VecClassifier`.
+* GNN-based methods: :class:`GCNClassifier`, :class:`GATClassifier`,
+  :class:`GINClassifier`, :class:`GraphSAGEClassifier`, :class:`APPNPClassifier`,
+  :class:`GRITClassifier`.
+* Ethereum de-anonymization methods: :class:`Trans2VecClassifier`,
+  :class:`I2BGNNClassifier`, :class:`TSGNClassifier`, :class:`EthidentClassifier`,
+  :class:`TEGDetectorClassifier`, :class:`BERT4ETHClassifier`.
+
+Every baseline exposes ``fit(samples, labels)``, ``predict(samples)`` and
+``predict_proba(samples)`` over :class:`~repro.data.AccountSubgraph` samples.
+"""
+
+from repro.baselines.base import BaselineClassifier
+from repro.baselines.embedding_models import (
+    DeepWalkClassifier,
+    Node2VecClassifier,
+    Trans2VecClassifier,
+)
+from repro.baselines.gnn_models import (
+    GCNClassifier,
+    GATClassifier,
+    GINClassifier,
+    GraphSAGEClassifier,
+    APPNPClassifier,
+    I2BGNNClassifier,
+    TSGNClassifier,
+    EthidentClassifier,
+    TEGDetectorClassifier,
+)
+from repro.baselines.transformers import GRITClassifier, BERT4ETHClassifier
+
+__all__ = [
+    "BaselineClassifier",
+    "DeepWalkClassifier",
+    "Node2VecClassifier",
+    "Trans2VecClassifier",
+    "GCNClassifier",
+    "GATClassifier",
+    "GINClassifier",
+    "GraphSAGEClassifier",
+    "APPNPClassifier",
+    "I2BGNNClassifier",
+    "TSGNClassifier",
+    "EthidentClassifier",
+    "TEGDetectorClassifier",
+    "GRITClassifier",
+    "BERT4ETHClassifier",
+    "baseline_registry",
+]
+
+
+def baseline_registry(seed: int = 0) -> dict:
+    """All baselines keyed by their Table III row names."""
+    return {
+        "DeepWalk": DeepWalkClassifier(seed=seed),
+        "Node2Vec": Node2VecClassifier(seed=seed),
+        "GCN": GCNClassifier(seed=seed),
+        "GAT": GATClassifier(seed=seed),
+        "GIN": GINClassifier(seed=seed),
+        "GraphSAGE": GraphSAGEClassifier(seed=seed),
+        "APPNP": APPNPClassifier(seed=seed),
+        "GRIT": GRITClassifier(seed=seed),
+        "Trans2Vec": Trans2VecClassifier(seed=seed),
+        "I2BGNN": I2BGNNClassifier(seed=seed),
+        "TSGN": TSGNClassifier(seed=seed),
+        "Ethident": EthidentClassifier(seed=seed),
+        "TEGDetector": TEGDetectorClassifier(seed=seed),
+        "BERT4ETH": BERT4ETHClassifier(seed=seed),
+    }

@@ -1,0 +1,40 @@
+"""Shared interface and helpers for baseline classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import AccountSubgraph
+from repro.metrics import classification_report
+
+__all__ = ["BaselineClassifier"]
+
+
+class BaselineClassifier:
+    """Abstract base: binary subgraph classification over :class:`AccountSubgraph`."""
+
+    name = "baseline"
+
+    def fit(self, samples: list[AccountSubgraph], labels) -> "BaselineClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, samples: list[AccountSubgraph]) -> np.ndarray:
+        """Probability of the positive class for each sample."""
+        raise NotImplementedError
+
+    def predict(self, samples: list[AccountSubgraph]) -> np.ndarray:
+        return (self.predict_proba(samples) >= 0.5).astype(int)
+
+    def evaluate(self, samples: list[AccountSubgraph], labels) -> dict[str, float]:
+        """Precision / recall / F1 / accuracy on ``samples``."""
+        predictions = self.predict(samples)
+        return classification_report(np.asarray(labels).astype(int), predictions)
+
+    @staticmethod
+    def _standardize(matrices: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Column-wise mean/std over a list of per-graph feature matrices."""
+        stacked = np.vstack(matrices)
+        mean = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return mean, std

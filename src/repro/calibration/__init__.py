@@ -1,0 +1,46 @@
+"""Confidence calibration methods and adaptive combination (Section IV-C).
+
+Three parametric methods (temperature scaling, beta calibration, logistic /
+Platt calibration) and three non-parametric methods (histogram binning,
+isotonic regression, Bayesian binning into quantiles) calibrate each branch's
+predicted values; :class:`AdaptiveCalibrator` weights the six calibrated
+outputs by their ECE reduction (Eq. 24-25).
+"""
+
+from repro.calibration.scaling import confidence_scale
+from repro.calibration.parametric import TemperatureScaling, LogisticCalibration, BetaCalibration
+from repro.calibration.nonparametric import HistogramBinning, IsotonicCalibration, BBQCalibration
+from repro.calibration.adaptive import AdaptiveCalibrator, CalibrationReport
+
+__all__ = [
+    "confidence_scale",
+    "TemperatureScaling",
+    "LogisticCalibration",
+    "BetaCalibration",
+    "HistogramBinning",
+    "IsotonicCalibration",
+    "BBQCalibration",
+    "AdaptiveCalibrator",
+    "CalibrationReport",
+    "PARAMETRIC_METHODS",
+    "NONPARAMETRIC_METHODS",
+    "default_calibrators",
+]
+
+#: Names of the parametric calibration methods, in the paper's order.
+PARAMETRIC_METHODS = ("temperature_scaling", "beta_calibration", "logistic_calibration")
+
+#: Names of the non-parametric calibration methods, in the paper's order.
+NONPARAMETRIC_METHODS = ("histogram_binning", "isotonic_regression", "bbq")
+
+
+def default_calibrators() -> dict:
+    """The six calibrators used by DBG4ETH, keyed by method name."""
+    return {
+        "temperature_scaling": TemperatureScaling(),
+        "beta_calibration": BetaCalibration(),
+        "logistic_calibration": LogisticCalibration(),
+        "histogram_binning": HistogramBinning(),
+        "isotonic_regression": IsotonicCalibration(),
+        "bbq": BBQCalibration(),
+    }

@@ -1,0 +1,159 @@
+"""Non-parametric calibration: histogram binning, isotonic regression and BBQ."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration.parametric import Calibrator
+
+__all__ = ["HistogramBinning", "IsotonicCalibration", "BBQCalibration"]
+
+
+class HistogramBinning(Calibrator):
+    """Equal-width histogram binning (Zadrozny & Elkan 2001).
+
+    Each confidence bin's calibrated value is the empirical positive rate of the
+    calibration samples that fall into it, with Laplace smoothing so empty bins
+    fall back to the bin centre.
+    """
+
+    name = "histogram_binning"
+
+    def __init__(self, num_bins: int = 10):
+        if num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        self.num_bins = num_bins
+        self._bin_values: np.ndarray | None = None
+
+    def fit(self, confidences, labels) -> "HistogramBinning":
+        confidences, labels = self._validate(confidences, labels)
+        edges = np.linspace(0.0, 1.0, self.num_bins + 1)
+        values = np.empty(self.num_bins)
+        for b in range(self.num_bins):
+            if b == self.num_bins - 1:
+                mask = (confidences >= edges[b]) & (confidences <= edges[b + 1])
+            else:
+                mask = (confidences >= edges[b]) & (confidences < edges[b + 1])
+            centre = 0.5 * (edges[b] + edges[b + 1])
+            # Laplace-smoothed positive rate anchored at the bin centre.
+            values[b] = (labels[mask].sum() + centre) / (mask.sum() + 1.0)
+        self._bin_values = values
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        if self._bin_values is None:
+            raise RuntimeError("calibrator has not been fitted")
+        confidences = np.clip(np.asarray(confidences, dtype=float), 0.0, 1.0)
+        bins = np.minimum((confidences * self.num_bins).astype(int), self.num_bins - 1)
+        return self._bin_values[bins]
+
+
+class IsotonicCalibration(Calibrator):
+    """Isotonic regression via the pool-adjacent-violators algorithm (PAVA)."""
+
+    name = "isotonic_regression"
+
+    def __init__(self):
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, confidences, labels) -> "IsotonicCalibration":
+        confidences, labels = self._validate(confidences, labels)
+        order = np.argsort(confidences, kind="stable")
+        x = confidences[order]
+        y = labels[order].astype(float)
+        # PAVA: merge adjacent blocks until the block means are non-decreasing.
+        values = list(y)
+        weights = [1.0] * len(y)
+        starts = list(range(len(y)))
+        i = 0
+        while i < len(values) - 1:
+            if values[i] > values[i + 1] + 1e-15:
+                merged_weight = weights[i] + weights[i + 1]
+                merged_value = (values[i] * weights[i] + values[i + 1] * weights[i + 1]) / merged_weight
+                values[i:i + 2] = [merged_value]
+                weights[i:i + 2] = [merged_weight]
+                starts[i + 1:i + 2] = []
+                i = max(i - 1, 0)
+            else:
+                i += 1
+        fitted = np.empty(len(y))
+        boundaries = starts + [len(y)]
+        for block, value in enumerate(values):
+            fitted[boundaries[block]:boundaries[block + 1]] = value
+        self._x = x
+        self._y = fitted
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("calibrator has not been fitted")
+        confidences = np.asarray(confidences, dtype=float)
+        return np.interp(confidences, self._x, self._y)
+
+
+class BBQCalibration(Calibrator):
+    """Bayesian binning into quantiles (Naeini et al. 2015).
+
+    An ensemble of equal-frequency binning models with different bin counts; the
+    calibrated probability is the average of the per-model binned estimates,
+    weighted by each model's Bayesian marginal likelihood under a Beta prior.
+    """
+
+    name = "bbq"
+
+    def __init__(self, bin_counts: tuple[int, ...] | None = None, prior_strength: float = 2.0):
+        self.bin_counts = bin_counts
+        self.prior_strength = prior_strength
+        self._models: list[tuple[np.ndarray, np.ndarray, float]] = []
+
+    def fit(self, confidences, labels) -> "BBQCalibration":
+        confidences, labels = self._validate(confidences, labels)
+        n = len(confidences)
+        bin_counts = self.bin_counts
+        if bin_counts is None:
+            max_bins = max(2, int(np.sqrt(n)))
+            bin_counts = tuple(sorted({2, 3, max(2, max_bins // 2), max_bins}))
+        base_rate = float(labels.mean()) if n else 0.5
+        self._models = []
+        scores = []
+        for num_bins in bin_counts:
+            edges = np.quantile(confidences, np.linspace(0.0, 1.0, num_bins + 1))
+            edges[0], edges[-1] = 0.0, 1.0
+            edges = np.maximum.accumulate(edges)
+            bin_probs = np.empty(num_bins)
+            log_marginal = 0.0
+            for b in range(num_bins):
+                if b == num_bins - 1:
+                    mask = (confidences >= edges[b]) & (confidences <= edges[b + 1])
+                else:
+                    mask = (confidences >= edges[b]) & (confidences < edges[b + 1])
+                count = int(mask.sum())
+                positives = float(labels[mask].sum())
+                alpha0 = self.prior_strength * base_rate + 1e-3
+                beta0 = self.prior_strength * (1.0 - base_rate) + 1e-3
+                bin_probs[b] = (positives + alpha0) / (count + alpha0 + beta0)
+                # Beta-binomial log marginal likelihood of this bin.
+                from scipy.special import betaln
+
+                log_marginal += betaln(positives + alpha0, count - positives + beta0) \
+                    - betaln(alpha0, beta0)
+            self._models.append((edges, bin_probs, log_marginal))
+            scores.append(log_marginal)
+        scores = np.array(scores)
+        weights = np.exp(scores - scores.max())
+        weights /= weights.sum()
+        self._models = [(edges, probs, float(w))
+                        for (edges, probs, _), w in zip(self._models, weights)]
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        if not self._models:
+            raise RuntimeError("calibrator has not been fitted")
+        confidences = np.clip(np.asarray(confidences, dtype=float), 0.0, 1.0)
+        result = np.zeros_like(confidences)
+        for edges, bin_probs, weight in self._models:
+            bins = np.clip(np.searchsorted(edges, confidences, side="right") - 1,
+                           0, len(bin_probs) - 1)
+            result += weight * bin_probs[bins]
+        return result

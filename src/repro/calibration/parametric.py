@@ -1,0 +1,136 @@
+"""Parametric calibration: temperature scaling, logistic (Platt) and beta calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["Calibrator", "TemperatureScaling", "LogisticCalibration", "BetaCalibration"]
+
+_EPS = 1e-7
+
+
+def _clip01(p: np.ndarray) -> np.ndarray:
+    return np.clip(np.asarray(p, dtype=float), _EPS, 1.0 - _EPS)
+
+
+def _nll(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    p = _clip01(probabilities)
+    return float(-(labels * np.log(p) + (1.0 - labels) * np.log(1.0 - p)).mean())
+
+
+class Calibrator:
+    """Common interface: ``fit(confidences, labels)`` then ``transform(confidences)``."""
+
+    name = "calibrator"
+
+    def fit(self, confidences, labels) -> "Calibrator":
+        raise NotImplementedError
+
+    def transform(self, confidences) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, confidences, labels) -> np.ndarray:
+        return self.fit(confidences, labels).transform(confidences)
+
+    @staticmethod
+    def _validate(confidences, labels) -> tuple[np.ndarray, np.ndarray]:
+        confidences = np.asarray(confidences, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if confidences.shape != labels.shape:
+            raise ValueError("confidences and labels must have the same shape")
+        if confidences.size == 0:
+            raise ValueError("cannot calibrate on empty arrays")
+        return confidences, labels
+
+
+class TemperatureScaling(Calibrator):
+    """Single-parameter temperature scaling (Guo et al. 2017).
+
+    Confidences are converted back to logits, divided by a learned temperature
+    ``T > 0`` and squashed again; ``T`` minimises the negative log-likelihood on
+    the calibration split.
+    """
+
+    name = "temperature_scaling"
+
+    def __init__(self):
+        self.temperature = 1.0
+
+    def fit(self, confidences, labels) -> "TemperatureScaling":
+        confidences, labels = self._validate(confidences, labels)
+        logits = np.log(_clip01(confidences)) - np.log(1.0 - _clip01(confidences))
+
+        def objective(log_t: float) -> float:
+            temperature = np.exp(log_t)
+            z = np.clip(logits / temperature, -30.0, 30.0)
+            return _nll(1.0 / (1.0 + np.exp(-z)), labels)
+
+        result = optimize.minimize_scalar(objective, bounds=(-4.0, 4.0), method="bounded")
+        self.temperature = float(np.exp(result.x))
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        confidences = _clip01(confidences)
+        logits = np.log(confidences) - np.log(1.0 - confidences)
+        return 1.0 / (1.0 + np.exp(-logits / self.temperature))
+
+
+class LogisticCalibration(Calibrator):
+    """Platt scaling: fit ``sigmoid(a * logit + b)`` by maximum likelihood."""
+
+    name = "logistic_calibration"
+
+    def __init__(self):
+        self.slope = 1.0
+        self.intercept = 0.0
+
+    def fit(self, confidences, labels) -> "LogisticCalibration":
+        confidences, labels = self._validate(confidences, labels)
+        logits = np.log(_clip01(confidences)) - np.log(1.0 - _clip01(confidences))
+
+        def objective(params: np.ndarray) -> float:
+            a, b = params
+            z = np.clip(a * logits + b, -30.0, 30.0)
+            return _nll(1.0 / (1.0 + np.exp(-z)), labels)
+
+        result = optimize.minimize(objective, x0=np.array([1.0, 0.0]), method="Nelder-Mead")
+        self.slope, self.intercept = (float(result.x[0]), float(result.x[1]))
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        confidences = _clip01(confidences)
+        logits = np.log(confidences) - np.log(1.0 - confidences)
+        z = np.clip(self.slope * logits + self.intercept, -30.0, 30.0)
+        return 1.0 / (1.0 + np.exp(-z))
+
+
+class BetaCalibration(Calibrator):
+    """Beta calibration (Kull et al. 2017): ``sigmoid(a ln(p) - b ln(1-p) + c)``."""
+
+    name = "beta_calibration"
+
+    def __init__(self):
+        self.a = 1.0
+        self.b = 1.0
+        self.c = 0.0
+
+    def fit(self, confidences, labels) -> "BetaCalibration":
+        confidences, labels = self._validate(confidences, labels)
+        p = _clip01(confidences)
+        log_p = np.log(p)
+        log_1p = np.log(1.0 - p)
+
+        def objective(params: np.ndarray) -> float:
+            a, b, c = params
+            z = np.clip(a * log_p - b * log_1p + c, -30.0, 30.0)
+            return _nll(1.0 / (1.0 + np.exp(-z)), labels)
+
+        result = optimize.minimize(objective, x0=np.array([1.0, 1.0, 0.0]), method="Nelder-Mead")
+        self.a, self.b, self.c = (float(result.x[0]), float(result.x[1]), float(result.x[2]))
+        return self
+
+    def transform(self, confidences) -> np.ndarray:
+        p = _clip01(confidences)
+        z = np.clip(self.a * np.log(p) - self.b * np.log(1.0 - p) + self.c, -30.0, 30.0)
+        return 1.0 / (1.0 + np.exp(-z))

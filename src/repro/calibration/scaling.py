@@ -1,0 +1,34 @@
+"""Confidence generation: map raw branch outputs into (0, 1] (Section IV-C1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confidence_scale"]
+
+
+def confidence_scale(scores, mean: float | None = None, std: float | None = None) -> np.ndarray:
+    """Standardise raw predicted values and squash them into (0, 1).
+
+    The GSG and LDG branches emit unbounded scores; following the paper the
+    scores are first scaled by their mean and standard deviation and then mapped
+    through a sigmoid so that every downstream calibrator sees values that "fit
+    into the range of the two models' confidence values".
+
+    Parameters
+    ----------
+    scores:
+        Raw predicted values for the positive class.
+    mean, std:
+        Optional statistics to reuse (e.g. from the training split); computed
+        from ``scores`` when omitted.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.size == 0:
+        return scores.copy()
+    mean = float(scores.mean()) if mean is None else mean
+    std = float(scores.std()) if std is None else std
+    if std <= 1e-12:
+        std = 1.0
+    standardised = (scores - mean) / std
+    return 1.0 / (1.0 + np.exp(-np.clip(standardised, -30.0, 30.0)))

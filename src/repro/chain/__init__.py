@@ -1,0 +1,31 @@
+"""Synthetic Ethereum ledger used as the data substrate.
+
+The paper trains on Ethereum mainnet block data (XBlock export, 2015--2024)
+joined with Etherscan / XLabelCloud labels.  Neither is available offline, so
+this subpackage simulates the closest equivalent: a deterministic ledger of
+externally-owned and contract accounts whose transaction streams follow
+per-category behavioural archetypes (exchange, ICO-wallet, mining, phish/hack,
+bridge, DeFi) plus an unlabeled background population.  Every field the
+downstream pipeline consumes — sender, receiver, value, gas price, gas used,
+timestamp and contract-call flag — is produced with category-distinct
+distributions so that the whole DBG4ETH pipeline is exercised end-to-end.
+"""
+
+from repro.chain.accounts import Account, AccountType
+from repro.chain.transactions import Transaction, Block
+from repro.chain.ledger import Ledger
+from repro.chain.labelcloud import LabelCloud, AccountCategory
+from repro.chain.generator import LedgerConfig, LedgerGenerator, generate_ledger
+
+__all__ = [
+    "Account",
+    "AccountType",
+    "Transaction",
+    "Block",
+    "Ledger",
+    "LabelCloud",
+    "AccountCategory",
+    "LedgerConfig",
+    "LedgerGenerator",
+    "generate_ledger",
+]

@@ -1,0 +1,76 @@
+"""Ethereum account model: externally-owned accounts and contract accounts."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["AccountType", "Account"]
+
+
+class AccountType(str, enum.Enum):
+    """The two Ethereum account kinds (Section II-A of the paper)."""
+
+    EOA = "eoa"
+    CONTRACT = "contract"
+
+
+@dataclass
+class Account:
+    """A single Ethereum account.
+
+    Attributes
+    ----------
+    address:
+        Hex address string (``0x`` + 40 hex chars).
+    account_type:
+        :class:`AccountType.EOA` for key-controlled accounts or
+        :class:`AccountType.CONTRACT` for deployed contracts.
+    balance:
+        Current Ether balance (in ETH, not Wei, for readability).
+    nonce:
+        Number of transactions sent from this account; enforces ordering.
+    """
+
+    address: str
+    account_type: AccountType = AccountType.EOA
+    balance: float = 0.0
+    nonce: int = 0
+
+    @property
+    def is_contract(self) -> bool:
+        return self.account_type is AccountType.CONTRACT
+
+    def credit(self, amount: float) -> None:
+        """Increase the balance by ``amount`` ETH."""
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self.balance += amount
+
+    def debit(self, amount: float) -> None:
+        """Decrease the balance by ``amount`` ETH (may not go negative)."""
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        if amount > self.balance + 1e-12:
+            raise ValueError(
+                f"insufficient balance: {self.balance:.6f} ETH available, "
+                f"{amount:.6f} ETH requested")
+        self.balance -= amount
+
+    def next_nonce(self) -> int:
+        """Return the current nonce and advance it (called when sending a tx)."""
+        nonce = self.nonce
+        self.nonce += 1
+        return nonce
+
+
+def make_address(index: int, prefix: str = "") -> str:
+    """Deterministically derive a syntactically valid Ethereum address.
+
+    The ``prefix`` (e.g. ``"ex"`` for exchanges) is embedded as hex so that
+    addresses remain human-attributable when debugging generated ledgers.
+    """
+    prefix_hex = prefix.encode("utf-8").hex()
+    body = f"{index:x}"
+    payload = (prefix_hex + body).rjust(40, "0")[-40:]
+    return "0x" + payload

@@ -1,0 +1,175 @@
+"""Deterministic synthetic-ledger generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chain.accounts import Account, AccountType, make_address
+from repro.chain.behaviors import RawTx, behavior_for
+from repro.chain.labelcloud import AccountCategory
+from repro.chain.ledger import Ledger
+from repro.chain.transactions import Block, Transaction
+
+__all__ = ["LedgerConfig", "LedgerGenerator", "generate_ledger"]
+
+
+@dataclass
+class LedgerConfig:
+    """Configuration for :class:`LedgerGenerator`.
+
+    The default category counts are scaled-down versions of the paper's Table II
+    (which has 231 exchanges, 155 ICO wallets, 56 miners, 1991 phishers, 105
+    bridges and 105 DeFi accounts) so that the full pipeline runs on a laptop.
+    """
+
+    labeled_per_category: dict[AccountCategory, int] = field(default_factory=lambda: {
+        AccountCategory.EXCHANGE: 24,
+        AccountCategory.ICO_WALLET: 16,
+        AccountCategory.MINING: 12,
+        AccountCategory.PHISH_HACK: 40,
+        AccountCategory.BRIDGE: 12,
+        AccountCategory.DEFI: 12,
+    })
+    num_background_users: int = 400
+    num_contracts: int = 40
+    start_timestamp: float = 1_438_900_000.0   # 2015-08-07, the paper's data start
+    timespan: float = 3600.0 * 24 * 365        # one simulated year
+    transactions_per_block: int = 50
+    background_tx_count: int = 600
+    unsubmitted_fraction: float = 0.01
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "LedgerConfig":
+        """Return a copy with category counts and background sizes scaled by ``factor``."""
+        return LedgerConfig(
+            labeled_per_category={
+                cat: max(2, int(round(n * factor)))
+                for cat, n in self.labeled_per_category.items()
+            },
+            num_background_users=max(20, int(round(self.num_background_users * factor))),
+            num_contracts=max(5, int(round(self.num_contracts * factor))),
+            start_timestamp=self.start_timestamp,
+            timespan=self.timespan,
+            transactions_per_block=self.transactions_per_block,
+            background_tx_count=max(50, int(round(self.background_tx_count * factor))),
+            unsubmitted_fraction=self.unsubmitted_fraction,
+            seed=self.seed,
+        )
+
+
+class LedgerGenerator:
+    """Build a :class:`~repro.chain.Ledger` from a :class:`LedgerConfig`."""
+
+    def __init__(self, config: LedgerConfig | None = None):
+        self.config = config or LedgerConfig()
+
+    def generate(self) -> Ledger:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        ledger = Ledger(genesis_timestamp=cfg.start_timestamp)
+
+        background = self._create_background_accounts(ledger)
+        contracts = self._create_contract_accounts(ledger)
+        labeled = self._create_labeled_accounts(ledger)
+
+        raw_txs: list[RawTx] = []
+        for address, category in labeled:
+            behavior = behavior_for(category)
+            raw_txs.extend(behavior(address, background, contracts, rng,
+                                    cfg.start_timestamp, cfg.timespan))
+        raw_txs.extend(self._background_traffic(background, contracts, rng))
+        self._assemble_blocks(ledger, raw_txs, rng)
+        return ledger
+
+    # ------------------------------------------------------------------ helpers
+    def _create_background_accounts(self, ledger: Ledger) -> list[str]:
+        addresses = []
+        for i in range(self.config.num_background_users):
+            address = make_address(i, prefix="u")
+            ledger.add_account(Account(address, AccountType.EOA))
+            addresses.append(address)
+        return addresses
+
+    def _create_contract_accounts(self, ledger: Ledger) -> list[str]:
+        addresses = []
+        for i in range(self.config.num_contracts):
+            address = make_address(i, prefix="c")
+            ledger.add_account(Account(address, AccountType.CONTRACT))
+            addresses.append(address)
+        return addresses
+
+    def _create_labeled_accounts(self, ledger: Ledger) -> list[tuple[str, AccountCategory]]:
+        labeled: list[tuple[str, AccountCategory]] = []
+        index = 0
+        for category, count in self.config.labeled_per_category.items():
+            for _ in range(count):
+                address = make_address(index, prefix="L")
+                account_type = (AccountType.CONTRACT
+                                if category in (AccountCategory.BRIDGE, AccountCategory.DEFI)
+                                and index % 2 == 0 else AccountType.EOA)
+                ledger.add_account(Account(address, account_type))
+                ledger.labels.add(address, category)
+                labeled.append((address, category))
+                index += 1
+        return labeled
+
+    def _background_traffic(self, users: list[str], contracts: list[str],
+                            rng: np.random.Generator) -> list[RawTx]:
+        """Random peer-to-peer chatter among unlabeled users."""
+        cfg = self.config
+        txs: list[RawTx] = []
+        for _ in range(cfg.background_tx_count):
+            sender, receiver = rng.choice(len(users), size=2, replace=False)
+            is_contract_call = rng.random() < 0.15
+            target = (contracts[int(rng.integers(0, len(contracts)))]
+                      if is_contract_call else users[receiver])
+            txs.append((
+                users[sender], target,
+                float(rng.lognormal(mean=-0.5, sigma=1.0)),
+                float(rng.uniform(15, 60)),
+                90_000 if is_contract_call else 21_000,
+                cfg.start_timestamp + rng.uniform(0.0, cfg.timespan),
+                is_contract_call,
+            ))
+        return txs
+
+    def _assemble_blocks(self, ledger: Ledger, raw_txs: list[RawTx],
+                         rng: np.random.Generator) -> None:
+        cfg = self.config
+        raw_txs.sort(key=lambda tx: tx[5])
+        blocks: list[Block] = []
+        current: list[Transaction] = []
+        block_number = 0
+        for i, (sender, receiver, value, gas_price, gas_used, ts, is_call) in enumerate(raw_txs):
+            submitted = rng.random() >= cfg.unsubmitted_fraction
+            tx = Transaction(
+                tx_hash=f"0x{i:064x}",
+                sender=sender,
+                receiver=receiver,
+                value=round(float(value), 8),
+                gas_price=round(float(gas_price), 4),
+                gas_used=int(gas_used),
+                timestamp=float(ts),
+                is_contract_call=bool(is_call),
+                block_number=block_number,
+                submitted=submitted,
+            )
+            current.append(tx)
+            if len(current) >= cfg.transactions_per_block:
+                blocks.append(Block(block_number, current[-1].timestamp, current))
+                current = []
+                block_number += 1
+        if current:
+            blocks.append(Block(block_number, current[-1].timestamp, current))
+        for block in blocks:
+            ledger.append_block(block)
+
+
+def generate_ledger(config: LedgerConfig | None = None, seed: int | None = None) -> Ledger:
+    """Convenience wrapper: generate a ledger, optionally overriding the seed."""
+    config = config or LedgerConfig()
+    if seed is not None:
+        config = LedgerConfig(**{**vars(config), "seed": seed})
+    return LedgerGenerator(config).generate()

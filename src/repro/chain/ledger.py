@@ -1,0 +1,117 @@
+"""The synthetic ledger: accounts, blocks and transaction queries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.chain.accounts import Account, AccountType
+from repro.chain.labelcloud import LabelCloud
+from repro.chain.transactions import Block, Transaction
+
+__all__ = ["Ledger"]
+
+
+class Ledger:
+    """In-memory Ethereum-like ledger.
+
+    Holds the account registry, the ordered list of blocks and the label cloud.
+    Transaction helpers intentionally mirror the access patterns the data
+    pipeline needs: all submitted transactions, transactions touching a given
+    address, and contract-account lookups.
+    """
+
+    def __init__(self, block_interval: float = 12.0, genesis_timestamp: float = 1_438_900_000.0):
+        self.block_interval = block_interval
+        self.genesis_timestamp = genesis_timestamp
+        self._accounts: dict[str, Account] = {}
+        self._blocks: list[Block] = []
+        self._tx_index: dict[str, Transaction] = {}
+        self._address_txs: dict[str, list[Transaction]] = {}
+        self.labels = LabelCloud()
+
+    # --------------------------------------------------------------- accounts
+    def add_account(self, account: Account) -> Account:
+        if account.address in self._accounts:
+            raise ValueError(f"duplicate account address {account.address}")
+        self._accounts[account.address] = account
+        return account
+
+    def get_account(self, address: str) -> Account:
+        return self._accounts[address]
+
+    def has_account(self, address: str) -> bool:
+        return address in self._accounts
+
+    def is_contract(self, address: str) -> bool:
+        account = self._accounts.get(address)
+        return account is not None and account.account_type is AccountType.CONTRACT
+
+    @property
+    def accounts(self) -> list[Account]:
+        return list(self._accounts.values())
+
+    @property
+    def num_accounts(self) -> int:
+        return len(self._accounts)
+
+    # ----------------------------------------------------------------- blocks
+    def append_block(self, block: Block) -> None:
+        if self._blocks and block.number <= self._blocks[-1].number:
+            raise ValueError("block numbers must be strictly increasing")
+        self._blocks.append(block)
+        for tx in block.transactions:
+            self._register_transaction(tx)
+
+    def _register_transaction(self, tx: Transaction) -> None:
+        self._tx_index[tx.tx_hash] = tx
+        self._address_txs.setdefault(tx.sender, []).append(tx)
+        self._address_txs.setdefault(tx.receiver, []).append(tx)
+
+    @property
+    def blocks(self) -> list[Block]:
+        return list(self._blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    # ----------------------------------------------------------- transactions
+    def transactions(self, include_unsubmitted: bool = False) -> Iterator[Transaction]:
+        """Iterate over all transactions in block order."""
+        for block in self._blocks:
+            for tx in block.transactions:
+                if tx.submitted or include_unsubmitted:
+                    yield tx
+
+    @property
+    def num_transactions(self) -> int:
+        return sum(block.num_transactions for block in self._blocks)
+
+    def get_transaction(self, tx_hash: str) -> Transaction:
+        return self._tx_index[tx_hash]
+
+    def transactions_for(self, address: str, include_unsubmitted: bool = False) -> list[Transaction]:
+        """All transactions where ``address`` is sender or receiver."""
+        txs = self._address_txs.get(address, [])
+        if include_unsubmitted:
+            return list(txs)
+        return [tx for tx in txs if tx.submitted]
+
+    def timespan(self) -> tuple[float, float]:
+        """(min, max) timestamp over all submitted transactions."""
+        timestamps = [tx.timestamp for tx in self.transactions()]
+        if not timestamps:
+            return (self.genesis_timestamp, self.genesis_timestamp)
+        return (min(timestamps), max(timestamps))
+
+    def summary(self) -> dict:
+        """Aggregate statistics used by examples and the dataset-stats bench."""
+        contract_count = sum(1 for a in self._accounts.values() if a.is_contract)
+        return {
+            "num_accounts": self.num_accounts,
+            "num_contracts": contract_count,
+            "num_blocks": self.num_blocks,
+            "num_transactions": self.num_transactions,
+            "num_labeled": len(self.labels),
+            "label_counts": {cat.value: n for cat, n in self.labels.counts().items()},
+        }

@@ -1,0 +1,56 @@
+"""Transactions and blocks for the synthetic ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Transaction", "Block", "WEI_PER_ETH"]
+
+WEI_PER_ETH = 10 ** 18
+GWEI_PER_ETH = 10 ** 9
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A single submitted Ethereum transaction.
+
+    Only the fields consumed by the DBG4ETH pipeline are modelled.  Values are
+    expressed in ETH and gas prices in Gwei, mirroring how the paper's feature
+    definitions convert Wei into ETH (Eq. 5 multiplies by ``1e-18``).
+    """
+
+    tx_hash: str
+    sender: str
+    receiver: str
+    value: float
+    gas_price: float        # in Gwei
+    gas_used: int
+    timestamp: float        # unix seconds
+    is_contract_call: bool = False
+    block_number: int = 0
+    submitted: bool = True
+
+    @property
+    def fee_eth(self) -> float:
+        """Transaction fee in ETH: ``gas_price * gas_used`` converted from Gwei."""
+        return self.gas_price * self.gas_used / GWEI_PER_ETH
+
+    @property
+    def value_wei(self) -> int:
+        return int(round(self.value * WEI_PER_ETH))
+
+
+@dataclass
+class Block:
+    """An ordered batch of transactions sharing a timestamp window."""
+
+    number: int
+    timestamp: float
+    transactions: list[Transaction] = field(default_factory=list)
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+    def total_value(self) -> float:
+        return sum(tx.value for tx in self.transactions)

@@ -1,0 +1,56 @@
+"""Account classification module (Section IV-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble import (
+    AdaBoostClassifier,
+    LightGBMClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    XGBoostClassifier,
+)
+
+__all__ = ["AccountClassificationModule", "CLASSIFIER_FACTORIES"]
+
+#: Factories for the five final classifiers compared in Figure 7.
+CLASSIFIER_FACTORIES = {
+    "lightgbm": lambda seed: LightGBMClassifier(seed=seed),
+    "xgboost": lambda seed: XGBoostClassifier(seed=seed),
+    "random_forest": lambda seed: RandomForestClassifier(seed=seed),
+    "adaboost": lambda seed: AdaBoostClassifier(seed=seed),
+    "mlp": lambda seed: MLPClassifier(seed=seed),
+}
+
+
+class AccountClassificationModule:
+    """Final classifier over the calibrated ``[P_g, P_l]`` probability pairs.
+
+    The paper selects LightGBM for its robustness to outliers and noise; the
+    ``classifier`` argument allows swapping in the Figure 7 alternatives and the
+    Table IV "w/o LightGBM" ablation (which uses the MLP).
+    """
+
+    def __init__(self, classifier: str = "lightgbm", seed: int = 0):
+        if classifier not in CLASSIFIER_FACTORIES:
+            raise ValueError(
+                f"unknown classifier {classifier!r}; choose from {sorted(CLASSIFIER_FACTORIES)}")
+        self.classifier_name = classifier
+        self.seed = seed
+        self._model = CLASSIFIER_FACTORIES[classifier](seed)
+
+    def fit(self, calibrated: np.ndarray, labels: np.ndarray) -> "AccountClassificationModule":
+        calibrated = np.atleast_2d(np.asarray(calibrated, dtype=float))
+        self._model.fit(calibrated, np.asarray(labels).astype(int))
+        return self
+
+    def predict(self, calibrated: np.ndarray) -> np.ndarray:
+        calibrated = np.atleast_2d(np.asarray(calibrated, dtype=float))
+        return np.asarray(self._model.predict(calibrated)).astype(int)
+
+    def predict_proba(self, calibrated: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each sample."""
+        calibrated = np.atleast_2d(np.asarray(calibrated, dtype=float))
+        probs = self._model.predict_proba(calibrated)
+        return probs[:, 1] if probs.ndim == 2 else probs

@@ -1,0 +1,41 @@
+"""Ethereum data processing: filtering, sampling, features and dataset building.
+
+Implements Section III of the paper: transaction filtering, top-K neighbour
+sampling (Eq. 2), the 15-dimensional deep account features of Table I, edge
+feature construction, the Global Static Graph / Local Dynamic Graph pair and
+the transaction-evolution-time slicing of Eq. 1.
+"""
+
+from repro.data.features import (
+    DeepFeatureExtractor,
+    FEATURE_NAMES,
+    FEATURE_GROUPS,
+    category_feature_matrix,
+)
+from repro.data.pipeline import build_transaction_graph, filter_transactions
+from repro.data.dataset import (
+    AccountSubgraph,
+    SubgraphDataset,
+    SubgraphDatasetBuilder,
+    DatasetConfig,
+)
+from repro.data.slicing import transaction_evolution_times, time_slice_adjacency
+from repro.data.splits import train_test_split, stratified_kfold, one_vs_rest_labels
+
+__all__ = [
+    "DeepFeatureExtractor",
+    "FEATURE_NAMES",
+    "FEATURE_GROUPS",
+    "category_feature_matrix",
+    "build_transaction_graph",
+    "filter_transactions",
+    "AccountSubgraph",
+    "SubgraphDataset",
+    "SubgraphDatasetBuilder",
+    "DatasetConfig",
+    "transaction_evolution_times",
+    "time_slice_adjacency",
+    "train_test_split",
+    "stratified_kfold",
+    "one_vs_rest_labels",
+]

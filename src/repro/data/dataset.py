@@ -1,0 +1,213 @@
+"""Account-centred subgraph dataset construction (Section III-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chain.labelcloud import AccountCategory
+from repro.chain.ledger import Ledger
+from repro.data.features import FEATURE_NAMES, DeepFeatureExtractor
+from repro.data.pipeline import build_transaction_graph
+from repro.data.slicing import time_slice_adjacency
+from repro.graph.sampling import ego_subgraph
+from repro.graph.txgraph import TxGraph
+
+__all__ = ["AccountSubgraph", "SubgraphDataset", "SubgraphDatasetBuilder", "DatasetConfig"]
+
+
+@dataclass
+class AccountSubgraph:
+    """One sample of the subgraph-classification dataset.
+
+    Attributes
+    ----------
+    center:
+        Address of the target (labelled or negative) account.
+    category:
+        The account category string, or ``None`` for negative samples drawn from
+        the unlabeled population.
+    graph:
+        The sampled ego subgraph.
+    node_features:
+        ``(n, 15)`` deep feature matrix, row order matching ``graph.nodes``.
+    center_index:
+        Row index of the centre node in ``node_features`` / adjacency matrices.
+    """
+
+    center: str
+    category: str | None
+    graph: TxGraph
+    node_features: np.ndarray
+    center_index: int
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def adjacency(self, weighted: bool = False) -> np.ndarray:
+        """Symmetric adjacency matrix for message passing."""
+        return self.graph.adjacency_matrix(weighted=weighted, symmetric=True)
+
+    def edge_features(self) -> np.ndarray:
+        """Edge feature matrix ``[total amount, count]`` (Section III-B3)."""
+        return self.graph.edge_feature_matrix()
+
+    def node_edge_features(self) -> np.ndarray:
+        """Per-node aggregate of incident edge features ``[amount, count]``.
+
+        Used by the GSG feature-alignment step (Eq. 6), which concatenates each
+        neighbour's node features with the features of its connecting edge.
+        """
+        n = self.graph.num_nodes
+        agg = np.zeros((n, 2))
+        for edge in self.graph.edges:
+            for endpoint in (edge.src, edge.dst):
+                idx = self.graph.node_index(endpoint)
+                agg[idx, 0] += edge.amount
+                agg[idx, 1] += edge.count
+        return agg
+
+    def time_slices(self, num_slices: int, weighted: bool = True) -> list[np.ndarray]:
+        """The LDG's discrete-time adjacency sequence (Eq. 1)."""
+        return time_slice_adjacency(self.graph, num_slices, weighted=weighted)
+
+
+@dataclass
+class DatasetConfig:
+    """Sampling parameters (Section V-A4: 2 hops, top-K = 2000 by default)."""
+
+    hops: int = 2
+    top_k: int = 2000
+    negatives_per_positive: float = 1.0
+    max_nodes_per_subgraph: int = 200
+    seed: int = 13
+
+
+class SubgraphDataset:
+    """A list of :class:`AccountSubgraph` samples with task helpers."""
+
+    def __init__(self, samples: list[AccountSubgraph]):
+        self.samples = list(samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> AccountSubgraph:
+        return self.samples[index]
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def categories(self) -> list[str]:
+        """Distinct non-null categories present in the dataset."""
+        return sorted({s.category for s in self.samples if s.category is not None})
+
+    def binary_task(self, category: AccountCategory | str,
+                    rng: np.random.Generator | None = None,
+                    ) -> tuple[list[AccountSubgraph], np.ndarray]:
+        """One-vs-rest task for ``category``.
+
+        Positives are samples of the category; negatives are an equally sized
+        mix of other categories and unlabeled accounts (matching the paper's
+        roughly 1:1 graph counts in Table II).
+        """
+        category = AccountCategory(category).value
+        rng = rng or np.random.default_rng(0)
+        positives = [s for s in self.samples if s.category == category]
+        others = [s for s in self.samples if s.category != category]
+        if not positives:
+            raise ValueError(f"no samples with category {category!r}")
+        n_neg = min(len(others), len(positives))
+        idx = rng.permutation(len(others))[:n_neg]
+        negatives = [others[i] for i in idx]
+        samples = positives + negatives
+        labels = np.array([1] * len(positives) + [0] * len(negatives))
+        order = rng.permutation(len(samples))
+        return [samples[i] for i in order], labels[order]
+
+    def multiclass_task(self) -> tuple[list[AccountSubgraph], np.ndarray, list[str]]:
+        """All labelled samples with integer class indices."""
+        labelled = [s for s in self.samples if s.category is not None]
+        classes = sorted({s.category for s in labelled})
+        class_to_idx = {c: i for i, c in enumerate(classes)}
+        labels = np.array([class_to_idx[s.category] for s in labelled])
+        return labelled, labels, classes
+
+    def statistics(self) -> dict[str, dict[str, float]]:
+        """Per-category statistics mirroring Table II."""
+        stats: dict[str, dict[str, float]] = {}
+        for category in self.categories():
+            positives = [s for s in self.samples if s.category == category]
+            negatives_count = sum(1 for s in self.samples if s.category is None)
+            stats[category] = {
+                "num_positive": len(positives),
+                "num_graphs": len(positives) + min(negatives_count, len(positives)),
+                "avg_nodes": float(np.mean([s.num_nodes for s in positives])),
+                "avg_edges": float(np.mean([s.num_edges for s in positives])),
+            }
+        return stats
+
+    def feature_matrix(self) -> np.ndarray:
+        """Centre-node features for every sample, ``(num_samples, 15)``."""
+        return np.vstack([s.node_features[s.center_index] for s in self.samples])
+
+
+class SubgraphDatasetBuilder:
+    """Build a :class:`SubgraphDataset` from a ledger (Stage 1 of the paper)."""
+
+    def __init__(self, ledger: Ledger, config: DatasetConfig | None = None):
+        self.ledger = ledger
+        self.config = config or DatasetConfig()
+        self._extractor = DeepFeatureExtractor(ledger)
+        self._feature_cache: dict[str, np.ndarray] = {}
+
+    def build(self) -> SubgraphDataset:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        graph = build_transaction_graph(self.ledger)
+        samples: list[AccountSubgraph] = []
+        labelled_addresses = [addr for addr, _ in self.ledger.labels.items()
+                              if graph.has_node(addr)]
+        for address in labelled_addresses:
+            category = self.ledger.labels.get(address)
+            samples.append(self._build_sample(graph, address, category.value))
+        # Negative samples: unlabeled accounts with enough activity.
+        n_negatives = int(round(len(labelled_addresses) * cfg.negatives_per_positive))
+        candidates = [node for node in graph.nodes
+                      if node not in self.ledger.labels and graph.degree(node) >= 2]
+        rng.shuffle(candidates)
+        for address in candidates[:n_negatives]:
+            samples.append(self._build_sample(graph, address, None))
+        return SubgraphDataset(samples)
+
+    def _build_sample(self, graph: TxGraph, address: str, category: str | None) -> AccountSubgraph:
+        cfg = self.config
+        sub = ego_subgraph(graph, address, hops=cfg.hops, k=cfg.top_k)
+        if sub.num_nodes > cfg.max_nodes_per_subgraph:
+            sub = self._truncate(sub, address, cfg.max_nodes_per_subgraph)
+        features = np.vstack([self._features_for(node) for node in sub.nodes])
+        return AccountSubgraph(
+            center=address,
+            category=category,
+            graph=sub,
+            node_features=features,
+            center_index=sub.node_index(address),
+        )
+
+    def _truncate(self, sub: TxGraph, center: str, max_nodes: int) -> TxGraph:
+        """Keep the centre plus the highest-degree nodes when a subgraph is too large."""
+        ranked = sorted((node for node in sub.nodes if node != center),
+                        key=lambda n: -sub.degree(n))
+        keep = [center] + ranked[:max_nodes - 1]
+        return sub.subgraph(keep)
+
+    def _features_for(self, address: str) -> np.ndarray:
+        if address not in self._feature_cache:
+            self._feature_cache[address] = self._extractor.extract(address)
+        return self._feature_cache[address]

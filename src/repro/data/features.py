@@ -1,0 +1,143 @@
+"""The 15-dimensional deep account features of Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chain.ledger import Ledger
+from repro.chain.transactions import Transaction
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_GROUPS",
+    "DeepFeatureExtractor",
+    "category_feature_matrix",
+]
+
+#: Ordered names of the 15 deep features (Table I).
+FEATURE_NAMES: tuple[str, ...] = (
+    "NTS",        # number of transactions sent
+    "STV",        # send total value
+    "SAV",        # send average value
+    "min_STI",    # minimum send time interval
+    "max_STI",    # maximum send time interval
+    "NTR",        # number of transactions received
+    "RTV",        # receive total value
+    "RAV",        # receive average value
+    "min_RTI",    # minimum receive time interval
+    "max_RTI",    # maximum receive time interval
+    "SETF",       # send Ether transaction fee (total)
+    "RETF",       # receive Ether transaction fee (total)
+    "SAETF",      # send average Ether transaction fee
+    "RAETF",      # receive average Ether transaction fee
+    "NC",         # number of contract calls
+)
+
+#: Feature-group membership used for the Figure 5 category-feature analysis.
+FEATURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "SAF": ("NTS", "STV", "SAV", "min_STI", "max_STI"),
+    "RAF": ("NTR", "RTV", "RAV", "min_RTI", "max_RTI"),
+    "TFF": ("SETF", "RETF", "SAETF", "RAETF"),
+    "CF": ("NC",),
+}
+
+
+def _interval_stats(timestamps: list[float]) -> tuple[float, float]:
+    """(min, max) absolute gap between consecutive timestamps; zeros if < 2 events."""
+    if len(timestamps) < 2:
+        return (0.0, 0.0)
+    ordered = sorted(timestamps)
+    gaps = np.abs(np.diff(ordered))
+    return (float(gaps.min()), float(gaps.max()))
+
+
+class DeepFeatureExtractor:
+    """Compute the 15-dimensional deep feature vector for an account.
+
+    Features follow the definitions in Section III-B2: sender statistics
+    (Eq. 3-4), receiver statistics, Ether transaction fees (Eq. 5) and the
+    number of contract calls in transactions involving the account.
+    """
+
+    def __init__(self, ledger: Ledger):
+        self.ledger = ledger
+
+    def extract(self, address: str, transactions: list[Transaction] | None = None) -> np.ndarray:
+        """Return the feature vector (length 15) for ``address``.
+
+        Parameters
+        ----------
+        address:
+            The account address.
+        transactions:
+            Optional pre-filtered transaction list (e.g. restricted to a
+            subgraph); defaults to every submitted ledger transaction touching
+            the address.
+        """
+        if transactions is None:
+            transactions = self.ledger.transactions_for(address)
+        sent = [tx for tx in transactions if tx.sender == address]
+        received = [tx for tx in transactions if tx.receiver == address]
+
+        sent_values = np.array([tx.value for tx in sent]) if sent else np.zeros(0)
+        recv_values = np.array([tx.value for tx in received]) if received else np.zeros(0)
+
+        nts = float(len(sent))
+        stv = float(sent_values.sum())
+        sav = float(sent_values.mean()) if len(sent_values) else 0.0
+        min_sti, max_sti = _interval_stats([tx.timestamp for tx in sent])
+
+        ntr = float(len(received))
+        rtv = float(recv_values.sum())
+        rav = float(recv_values.mean()) if len(recv_values) else 0.0
+        min_rti, max_rti = _interval_stats([tx.timestamp for tx in received])
+
+        setf = float(sum(tx.fee_eth for tx in sent))
+        retf = float(sum(tx.fee_eth for tx in received))
+        saetf = setf / nts if nts else 0.0
+        raetf = retf / ntr if ntr else 0.0
+
+        nc = float(sum(1 for tx in transactions if tx.is_contract_call))
+
+        return np.array([
+            nts, stv, sav, min_sti, max_sti,
+            ntr, rtv, rav, min_rti, max_rti,
+            setf, retf, saetf, raetf,
+            nc,
+        ])
+
+    def extract_many(self, addresses: list[str]) -> np.ndarray:
+        """Stack feature vectors for a list of addresses into an ``(n, 15)`` matrix."""
+        if not addresses:
+            return np.zeros((0, len(FEATURE_NAMES)))
+        return np.vstack([self.extract(address) for address in addresses])
+
+
+def _normalize_columns(matrix: np.ndarray) -> np.ndarray:
+    """Min-max normalise each column to ``[0, 1]`` (constant columns become 0)."""
+    normalized = np.zeros_like(matrix, dtype=np.float64)
+    for j in range(matrix.shape[1]):
+        column = matrix[:, j]
+        low, high = column.min(), column.max()
+        if high > low:
+            normalized[:, j] = (column - low) / (high - low)
+    return normalized
+
+
+def category_feature_matrix(features: np.ndarray) -> np.ndarray:
+    """Collapse 15-dim features into the four category features of Figure 5.
+
+    Each of the 15 features is min-max normalised, then features within the same
+    group (SAF / RAF / TFF / CF) are averaged and the group values are normalised
+    again, exactly mirroring the paper's two-stage normalisation.
+    """
+    if features.ndim != 2 or features.shape[1] != len(FEATURE_NAMES):
+        raise ValueError(f"expected (n, {len(FEATURE_NAMES)}) feature matrix")
+    normalized = _normalize_columns(features)
+    name_to_idx = {name: i for i, name in enumerate(FEATURE_NAMES)}
+    groups = []
+    for group_names in FEATURE_GROUPS.values():
+        idx = [name_to_idx[name] for name in group_names]
+        groups.append(normalized[:, idx].mean(axis=1))
+    grouped = np.column_stack(groups)
+    return _normalize_columns(grouped)

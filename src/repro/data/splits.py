@@ -1,0 +1,73 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["train_test_split", "stratified_kfold", "one_vs_rest_labels"]
+
+T = TypeVar("T")
+
+
+def train_test_split(samples: Sequence[T], labels: np.ndarray, test_fraction: float = 0.3,
+                     seed: int = 0, stratify: bool = True,
+                     ) -> tuple[list[T], np.ndarray, list[T], np.ndarray]:
+    """Split ``samples``/``labels`` into train and test partitions.
+
+    With ``stratify=True`` (default) each class contributes proportionally to
+    both partitions, which matters because the paper's label distribution is
+    heavily skewed (1991 phishers vs 56 miners).
+    """
+    labels = np.asarray(labels)
+    if len(samples) != len(labels):
+        raise ValueError("samples and labels must have the same length")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_idx: list[int] = []
+    if stratify:
+        for value in np.unique(labels):
+            class_idx = np.flatnonzero(labels == value)
+            rng.shuffle(class_idx)
+            n_test = max(1, int(round(len(class_idx) * test_fraction)))
+            if n_test >= len(class_idx):
+                n_test = len(class_idx) - 1
+            test_idx.extend(class_idx[:max(n_test, 0)])
+    else:
+        order = rng.permutation(len(samples))
+        n_test = max(1, int(round(len(samples) * test_fraction)))
+        test_idx = list(order[:n_test])
+    test_set = set(test_idx)
+    train_idx = [i for i in range(len(samples)) if i not in test_set]
+    train_samples = [samples[i] for i in train_idx]
+    test_samples = [samples[i] for i in sorted(test_set)]
+    return (train_samples, labels[train_idx], test_samples, labels[sorted(test_set)])
+
+
+def stratified_kfold(labels: np.ndarray, n_splits: int = 5, seed: int = 0,
+                     ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``n_splits`` (train_idx, test_idx) pairs with per-class balance."""
+    labels = np.asarray(labels)
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    rng = np.random.default_rng(seed)
+    folds: list[list[int]] = [[] for _ in range(n_splits)]
+    for value in np.unique(labels):
+        class_idx = np.flatnonzero(labels == value)
+        rng.shuffle(class_idx)
+        for i, idx in enumerate(class_idx):
+            folds[i % n_splits].append(int(idx))
+    splits = []
+    all_idx = set(range(len(labels)))
+    for fold in folds:
+        test_idx = np.array(sorted(fold), dtype=int)
+        train_idx = np.array(sorted(all_idx - set(fold)), dtype=int)
+        splits.append((train_idx, test_idx))
+    return splits
+
+
+def one_vs_rest_labels(categories: Sequence[str | None], positive: str) -> np.ndarray:
+    """Binary labels: 1 where the category equals ``positive``, else 0."""
+    return np.array([1 if c == positive else 0 for c in categories], dtype=int)

@@ -1,0 +1,21 @@
+"""Graph embedding methods used as baselines: DeepWalk, Node2Vec and Trans2Vec.
+
+These follow the classical pipeline: sample node sequences with (biased) random
+walks, then learn node vectors with skip-gram and negative sampling.  Graph
+representations are obtained by average-pooling node vectors, matching the
+baseline configuration in Section V-A4.
+"""
+
+from repro.embedding.walks import random_walks, node2vec_walks, trans2vec_walks
+from repro.embedding.skipgram import SkipGramModel
+from repro.embedding.models import DeepWalk, Node2Vec, Trans2Vec
+
+__all__ = [
+    "random_walks",
+    "node2vec_walks",
+    "trans2vec_walks",
+    "SkipGramModel",
+    "DeepWalk",
+    "Node2Vec",
+    "Trans2Vec",
+]

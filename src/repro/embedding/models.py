@@ -1,0 +1,81 @@
+"""DeepWalk, Node2Vec and Trans2Vec graph-embedding models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.skipgram import SkipGramModel
+from repro.embedding.walks import node2vec_walks, random_walks, trans2vec_walks
+from repro.graph.txgraph import TxGraph
+
+__all__ = ["DeepWalk", "Node2Vec", "Trans2Vec"]
+
+
+class _WalkEmbeddingModel:
+    """Shared logic: sample walks, fit skip-gram, pool node vectors per graph."""
+
+    def __init__(self, dim: int = 64, walk_length: int = 30, walks_per_node: int = 10,
+                 window: int = 5, epochs: int = 2, seed: int = 0):
+        self.dim = dim
+        self.walk_length = walk_length
+        self.walks_per_node = walks_per_node
+        self.window = window
+        self.epochs = epochs
+        self.seed = seed
+
+    def _walks(self, graph: TxGraph) -> list[list]:
+        raise NotImplementedError
+
+    def embed_nodes(self, graph: TxGraph) -> dict:
+        """Learn and return a ``{node: vector}`` embedding for one graph."""
+        walks = self._walks(graph)
+        model = SkipGramModel(dim=self.dim, window=self.window, epochs=self.epochs,
+                              seed=self.seed).fit(walks)
+        return {node: model.embedding(node) for node in graph.nodes}
+
+    def embed_graph(self, graph: TxGraph) -> np.ndarray:
+        """Average-pooled graph representation (the paper's baseline pooling)."""
+        node_vectors = self.embed_nodes(graph)
+        if not node_vectors:
+            return np.zeros(self.dim)
+        return np.mean(list(node_vectors.values()), axis=0)
+
+    def embed_graphs(self, graphs: list[TxGraph]) -> np.ndarray:
+        """Stack graph representations into an ``(n, dim)`` matrix."""
+        return np.vstack([self.embed_graph(g) for g in graphs]) if graphs \
+            else np.zeros((0, self.dim))
+
+
+class DeepWalk(_WalkEmbeddingModel):
+    """DeepWalk: uniform random walks + skip-gram."""
+
+    def _walks(self, graph: TxGraph) -> list[list]:
+        return random_walks(graph, self.walk_length, self.walks_per_node, seed=self.seed)
+
+
+class Node2Vec(_WalkEmbeddingModel):
+    """Node2Vec: second-order biased walks with return parameter ``p`` and in-out ``q``."""
+
+    def __init__(self, dim: int = 64, walk_length: int = 30, walks_per_node: int = 10,
+                 window: int = 5, epochs: int = 2, p: float = 1.0, q: float = 0.5,
+                 seed: int = 0):
+        super().__init__(dim, walk_length, walks_per_node, window, epochs, seed)
+        self.p = p
+        self.q = q
+
+    def _walks(self, graph: TxGraph) -> list[list]:
+        return node2vec_walks(graph, self.walk_length, self.walks_per_node,
+                              p=self.p, q=self.q, seed=self.seed)
+
+
+class Trans2Vec(_WalkEmbeddingModel):
+    """Trans2Vec: walks biased by transaction amount and recency."""
+
+    def __init__(self, dim: int = 64, walk_length: int = 30, walks_per_node: int = 10,
+                 window: int = 5, epochs: int = 2, amount_bias: float = 0.5, seed: int = 0):
+        super().__init__(dim, walk_length, walks_per_node, window, epochs, seed)
+        self.amount_bias = amount_bias
+
+    def _walks(self, graph: TxGraph) -> list[list]:
+        return trans2vec_walks(graph, self.walk_length, self.walks_per_node,
+                               amount_bias=self.amount_bias, seed=self.seed)

@@ -1,0 +1,97 @@
+"""Skip-gram with negative sampling (Word2Vec) over walk corpora."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["SkipGramModel"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramModel:
+    """Learn node embeddings from walk sequences with SGNS.
+
+    A lightweight Word2Vec: for every (centre, context) pair within ``window``
+    positions, the model maximises the log-probability of the true context and
+    minimises it for ``negative`` randomly drawn nodes, using plain SGD on the
+    input/output embedding tables.
+    """
+
+    def __init__(self, dim: int = 64, window: int = 5, negative: int = 5,
+                 learning_rate: float = 0.025, epochs: int = 2, seed: int = 0):
+        self.dim = dim
+        self.window = window
+        self.negative = negative
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.seed = seed
+        self.vocab: dict[Hashable, int] = {}
+        self._in_vectors: np.ndarray | None = None
+        self._out_vectors: np.ndarray | None = None
+
+    def fit(self, walks: Sequence[Sequence[Hashable]]) -> "SkipGramModel":
+        rng = np.random.default_rng(self.seed)
+        self.vocab = {}
+        counts: list[int] = []
+        for walk in walks:
+            for token in walk:
+                if token not in self.vocab:
+                    self.vocab[token] = len(self.vocab)
+                    counts.append(0)
+                counts[self.vocab[token]] += 1
+        vocab_size = len(self.vocab)
+        if vocab_size == 0:
+            raise ValueError("cannot fit skip-gram on an empty walk corpus")
+        self._in_vectors = rng.normal(0.0, 0.1, size=(vocab_size, self.dim))
+        self._out_vectors = np.zeros((vocab_size, self.dim))
+        # Unigram^0.75 negative-sampling distribution (Mikolov et al. 2013).
+        freq = np.array(counts, dtype=float) ** 0.75
+        neg_probs = freq / freq.sum()
+
+        lr = self.learning_rate
+        for _epoch in range(self.epochs):
+            for walk in walks:
+                indices = [self.vocab[token] for token in walk]
+                for pos, center in enumerate(indices):
+                    lo = max(0, pos - self.window)
+                    hi = min(len(indices), pos + self.window + 1)
+                    for ctx_pos in range(lo, hi):
+                        if ctx_pos == pos:
+                            continue
+                        self._train_pair(center, indices[ctx_pos], neg_probs, rng, lr)
+        return self
+
+    def _train_pair(self, center: int, context: int, neg_probs: np.ndarray,
+                    rng: np.random.Generator, lr: float) -> None:
+        v_in = self._in_vectors[center]
+        grad_in = np.zeros_like(v_in)
+        targets = [(context, 1.0)]
+        negatives = rng.choice(len(neg_probs), size=self.negative, p=neg_probs)
+        targets.extend((int(n), 0.0) for n in negatives if n != context)
+        for out_idx, label in targets:
+            v_out = self._out_vectors[out_idx]
+            score = _sigmoid(v_in @ v_out)
+            gradient = (score - label)
+            grad_in += gradient * v_out
+            self._out_vectors[out_idx] -= lr * gradient * v_in
+        self._in_vectors[center] -= lr * grad_in
+
+    # -------------------------------------------------------------- embeddings
+    def embedding(self, token: Hashable) -> np.ndarray:
+        """Embedding vector for one token (zeros for out-of-vocabulary tokens)."""
+        if self._in_vectors is None:
+            raise RuntimeError("model has not been fitted")
+        idx = self.vocab.get(token)
+        if idx is None:
+            return np.zeros(self.dim)
+        return self._in_vectors[idx].copy()
+
+    def embeddings(self, tokens: Sequence[Hashable]) -> np.ndarray:
+        """Stack embeddings for ``tokens`` into an ``(n, dim)`` matrix."""
+        return np.vstack([self.embedding(token) for token in tokens]) if tokens \
+            else np.zeros((0, self.dim))

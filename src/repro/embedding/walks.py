@@ -1,0 +1,121 @@
+"""Random-walk samplers over :class:`~repro.graph.TxGraph` subgraphs."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.graph.txgraph import TxGraph
+
+__all__ = ["random_walks", "node2vec_walks", "trans2vec_walks"]
+
+
+def _neighbor_map(graph: TxGraph) -> dict[Hashable, list[Hashable]]:
+    return {node: sorted(graph.neighbors(node), key=str) for node in graph.nodes}
+
+
+def random_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 10,
+                 seed: int = 0) -> list[list[Hashable]]:
+    """Uniform random walks (DeepWalk-style)."""
+    rng = np.random.default_rng(seed)
+    neighbors = _neighbor_map(graph)
+    walks = []
+    for _ in range(walks_per_node):
+        for start in graph.nodes:
+            walk = [start]
+            current = start
+            for _step in range(walk_length - 1):
+                options = neighbors[current]
+                if not options:
+                    break
+                current = options[int(rng.integers(0, len(options)))]
+                walk.append(current)
+            walks.append(walk)
+    return walks
+
+
+def node2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 10,
+                   p: float = 1.0, q: float = 1.0, seed: int = 0) -> list[list[Hashable]]:
+    """Biased second-order walks (Grover & Leskovec 2016).
+
+    ``p`` controls the likelihood of returning to the previous node, ``q``
+    interpolates between BFS-like (q > 1) and DFS-like (q < 1) exploration.
+    """
+    rng = np.random.default_rng(seed)
+    neighbors = _neighbor_map(graph)
+    neighbor_sets = {node: set(nbrs) for node, nbrs in neighbors.items()}
+    walks = []
+    for _ in range(walks_per_node):
+        for start in graph.nodes:
+            walk = [start]
+            for _step in range(walk_length - 1):
+                current = walk[-1]
+                options = neighbors[current]
+                if not options:
+                    break
+                if len(walk) == 1:
+                    nxt = options[int(rng.integers(0, len(options)))]
+                else:
+                    previous = walk[-2]
+                    weights = np.empty(len(options))
+                    prev_nbrs = neighbor_sets[previous]
+                    for i, candidate in enumerate(options):
+                        if candidate == previous:
+                            weights[i] = 1.0 / p
+                        elif candidate in prev_nbrs:
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = options[int(rng.choice(len(options), p=weights))]
+                walk.append(nxt)
+            walks.append(walk)
+    return walks
+
+
+def trans2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 10,
+                    amount_bias: float = 0.5, seed: int = 0) -> list[list[Hashable]]:
+    """Transaction-aware walks biased by edge amount and recency (Trans2Vec-style).
+
+    The transition probability to a neighbour mixes the (normalised) total
+    transferred amount and the (normalised) edge timestamp with weight
+    ``amount_bias`` vs ``1 - amount_bias``.
+    """
+    if not 0.0 <= amount_bias <= 1.0:
+        raise ValueError("amount_bias must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    # Pre-compute, for each node, its neighbours with (amount, timestamp) weights.
+    weights_map: dict[Hashable, tuple[list[Hashable], np.ndarray]] = {}
+    timestamps = [edge.timestamp for edge in graph.edges] or [0.0]
+    t_min, t_max = min(timestamps), max(timestamps)
+    t_span = (t_max - t_min) or 1.0
+    for node in graph.nodes:
+        nbr_weights: dict[Hashable, float] = {}
+        for edge in list(graph.out_edges(node)) + list(graph.in_edges(node)):
+            other = edge.dst if edge.src == node else edge.src
+            if other == node:
+                continue
+            recency = (edge.timestamp - t_min) / t_span
+            score = amount_bias * edge.amount + (1.0 - amount_bias) * (recency + 1e-6)
+            nbr_weights[other] = nbr_weights.get(other, 0.0) + score
+        if nbr_weights:
+            options = sorted(nbr_weights, key=str)
+            raw = np.array([nbr_weights[o] for o in options], dtype=float)
+            raw = raw + 1e-12
+            weights_map[node] = (options, raw / raw.sum())
+        else:
+            weights_map[node] = ([], np.zeros(0))
+    walks = []
+    for _ in range(walks_per_node):
+        for start in graph.nodes:
+            walk = [start]
+            current = start
+            for _step in range(walk_length - 1):
+                options, probs = weights_map[current]
+                if not options:
+                    break
+                current = options[int(rng.choice(len(options), p=probs))]
+                walk.append(current)
+            walks.append(walk)
+    return walks

@@ -1,0 +1,28 @@
+"""Classical classifiers used as the final account-classification stage.
+
+DBG4ETH feeds the calibrated GSG/LDG probabilities into a LightGBM classifier;
+the Figure 7 study also compares random forest, AdaBoost, XGBoost and an MLP.
+All of them are reimplemented here from scratch on numpy behind a common
+``fit`` / ``predict`` / ``predict_proba`` interface.
+"""
+
+from repro.ensemble.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ensemble.boosting import (
+    GradientBoostingClassifier,
+    LightGBMClassifier,
+    XGBoostClassifier,
+    AdaBoostClassifier,
+)
+from repro.ensemble.forest import RandomForestClassifier
+from repro.ensemble.mlp import MLPClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "LightGBMClassifier",
+    "XGBoostClassifier",
+    "AdaBoostClassifier",
+    "RandomForestClassifier",
+    "MLPClassifier",
+]

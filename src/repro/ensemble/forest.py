@@ -1,0 +1,69 @@
+"""Random forest classifier (bagged Gini trees with feature subsampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with per-split feature subsampling."""
+
+    def __init__(self, n_estimators: int = 50, max_depth: int = 6,
+                 max_features: str | int | None = "sqrt", min_samples_leaf: int = 1,
+                 seed: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        max_features = self._resolve_max_features(X.shape[1])
+        self._trees = []
+        n = len(y)
+        for _ in range(self.n_estimators):
+            idx = rng.choice(n, size=n, replace=True)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(1 << 31)),
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        votes = np.zeros((len(X), len(self.classes_)))
+        for tree in self._trees:
+            probs = tree.predict_proba(X)
+            # Align tree classes (which may be a subset after bootstrap) with ours.
+            for j, cls in enumerate(tree.classes_):
+                column = np.flatnonzero(self.classes_ == cls)[0]
+                votes[:, column] += probs[:, j]
+        return votes / len(self._trees)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

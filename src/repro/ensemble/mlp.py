@@ -1,0 +1,67 @@
+"""A small MLP classifier built on the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Adam, Linear, Module, Tensor, cross_entropy
+from repro.nn.functional import relu, softmax
+
+__all__ = ["MLPClassifier"]
+
+
+class _MLPNet(Module):
+    def __init__(self, in_dim: int, hidden_dim: int, num_classes: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.fc3 = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc3(relu(self.fc2(relu(self.fc1(x)))))
+
+
+class MLPClassifier:
+    """Two-hidden-layer MLP trained with Adam on cross-entropy."""
+
+    def __init__(self, hidden_dim: int = 32, epochs: int = 200, learning_rate: float = 0.01,
+                 seed: int = 0):
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._net: _MLPNet | None = None
+        self.classes_: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        class_to_index = {cls: i for i, cls in enumerate(self.classes_)}
+        targets = np.array([class_to_index[label] for label in y])
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        inputs = Tensor((X - self._mean) / self._std)
+        rng = np.random.default_rng(self.seed)
+        self._net = _MLPNet(X.shape[1], self.hidden_dim, len(self.classes_), rng)
+        optimizer = Adam(self._net.parameters(), lr=self.learning_rate)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            loss = cross_entropy(self._net(inputs), targets)
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._net is None:
+            raise RuntimeError("MLP has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        inputs = Tensor((X - self._mean) / self._std)
+        return softmax(self._net(inputs), axis=1).data
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

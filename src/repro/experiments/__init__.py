@@ -1,0 +1,39 @@
+"""Experiment harness: dataset builders, runners and table/figure formatters.
+
+The benchmark suite under ``benchmarks/`` wraps these helpers with
+pytest-benchmark fixtures; examples call them directly.
+"""
+
+from repro.experiments.setup import ExperimentConfig, build_experiment_dataset
+from repro.experiments.runner import (
+    evaluate_model,
+    run_category_experiment,
+    run_baseline_comparison,
+    run_ablation,
+    run_training_size_sweep,
+)
+from repro.experiments.figures import (
+    feature_correlation_matrix,
+    category_feature_summary,
+    calibration_weight_table,
+    classifier_roc_study,
+    sensitivity_study,
+)
+from repro.experiments.formatting import format_table, format_metrics_row
+
+__all__ = [
+    "ExperimentConfig",
+    "build_experiment_dataset",
+    "evaluate_model",
+    "run_category_experiment",
+    "run_baseline_comparison",
+    "run_ablation",
+    "run_training_size_sweep",
+    "feature_correlation_matrix",
+    "category_feature_summary",
+    "calibration_weight_table",
+    "classifier_roc_study",
+    "sensitivity_study",
+    "format_table",
+    "format_metrics_row",
+]

@@ -1,0 +1,119 @@
+"""Figure-level studies: feature analysis, calibration weights, ROC, sensitivity."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.chain import AccountCategory
+from repro.core import DBG4ETH, DBG4ETHConfig
+from repro.core.classifier import CLASSIFIER_FACTORIES, AccountClassificationModule
+from repro.data import SubgraphDataset, category_feature_matrix, train_test_split
+from repro.data.features import FEATURE_NAMES
+from repro.metrics import auc_score, roc_curve
+
+__all__ = [
+    "feature_correlation_matrix",
+    "category_feature_summary",
+    "calibration_weight_table",
+    "classifier_roc_study",
+    "sensitivity_study",
+]
+
+
+def feature_correlation_matrix(dataset: SubgraphDataset) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Figure 4: Pearson correlation between the 15 deep features of centre nodes."""
+    features = dataset.feature_matrix()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        correlation = np.corrcoef(features, rowvar=False)
+    correlation = np.nan_to_num(correlation, nan=0.0)
+    return correlation, FEATURE_NAMES
+
+
+def category_feature_summary(dataset: SubgraphDataset) -> dict[str, dict[str, float]]:
+    """Figure 5: per-category means of the four grouped features (SAF/RAF/TFF/CF)."""
+    labelled = [s for s in dataset.samples if s.category is not None]
+    features = np.vstack([s.node_features[s.center_index] for s in labelled])
+    grouped = category_feature_matrix(features)
+    group_names = ("SAF", "RAF", "TFF", "CF")
+    summary: dict[str, dict[str, float]] = {}
+    categories = np.array([s.category for s in labelled])
+    for category in sorted(set(categories)):
+        mask = categories == category
+        summary[category] = {
+            name: float(grouped[mask, j].mean()) for j, name in enumerate(group_names)
+        }
+    return summary
+
+
+def calibration_weight_table(dataset: SubgraphDataset, categories: list,
+                             config_factory: Callable[[], DBG4ETHConfig],
+                             seed: int = 0) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 6: adaptive calibration weights per method, branch and category."""
+    weights: dict[str, dict[str, dict[str, float]]] = {}
+    for category in categories:
+        category_name = AccountCategory(category).value
+        samples, labels = dataset.binary_task(category, rng=np.random.default_rng(seed))
+        train_s, train_y, _test_s, _test_y = train_test_split(samples, labels, seed=seed)
+        model = DBG4ETH(config_factory())
+        model.fit(train_s, train_y)
+        weights[category_name] = model.calibration_weights()
+    return weights
+
+
+def classifier_roc_study(dataset: SubgraphDataset, category,
+                         config_factory: Callable[[], DBG4ETHConfig],
+                         seed: int = 0) -> dict[str, dict]:
+    """Figure 7: ROC curve and AUC of the five final classifiers on one category.
+
+    The two graph branches are trained once; each candidate classifier is then
+    fitted on the same calibrated ``[P_g, P_l]`` training probabilities and
+    evaluated on the held-out split.
+    """
+    samples, labels = dataset.binary_task(category, rng=np.random.default_rng(seed))
+    train_s, train_y, test_s, test_y = train_test_split(samples, labels, seed=seed)
+    model = DBG4ETH(config_factory())
+    model.fit(train_s, train_y)
+    train_calibrated = model.calibration.transform(
+        *model._branch_scores(train_s, None, training=False))
+    test_calibrated = model.calibration.transform(
+        *model._branch_scores(test_s, None, training=False))
+    study: dict[str, dict] = {}
+    for name in CLASSIFIER_FACTORIES:
+        head = AccountClassificationModule(classifier=name, seed=seed)
+        head.fit(train_calibrated, train_y)
+        scores = head.predict_proba(test_calibrated)
+        fpr, tpr, _ = roc_curve(test_y, scores)
+        study[name] = {"auc": auc_score(test_y, scores), "fpr": fpr, "tpr": tpr}
+    return study
+
+
+def sensitivity_study(dataset: SubgraphDataset, category,
+                      config_factory: Callable[..., DBG4ETHConfig],
+                      augmentation_probs: tuple[float, ...] = (0.0, 0.2, 0.4, 0.8),
+                      pooling_layers: tuple[int, ...] = (1, 2, 3),
+                      seed: int = 0) -> dict[str, dict]:
+    """Figure 9: F1 as a function of GSG augmentation strength and LDG pooling depth.
+
+    ``config_factory`` must accept ``edge_drop``, ``feature_mask`` and
+    ``pooling_layers`` keyword overrides.
+    """
+    from repro.experiments.runner import evaluate_model
+
+    samples, labels = dataset.binary_task(category, rng=np.random.default_rng(seed))
+    train_s, train_y, test_s, test_y = train_test_split(samples, labels, seed=seed)
+
+    augmentation_results = {}
+    for prob in augmentation_probs:
+        model = DBG4ETH(config_factory(edge_drop=prob, feature_mask=prob))
+        report = evaluate_model(model, train_s, train_y, test_s, test_y)
+        augmentation_results[prob] = report["f1"]
+
+    pooling_results = {}
+    for layers in pooling_layers:
+        model = DBG4ETH(config_factory(pooling_layers=layers))
+        report = evaluate_model(model, train_s, train_y, test_s, test_y)
+        pooling_results[layers] = report["f1"]
+
+    return {"augmentation": augmentation_results, "pooling": pooling_results}

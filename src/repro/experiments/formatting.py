@@ -1,0 +1,46 @@
+"""Plain-text formatting of experiment results into paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_metrics_row", "format_table"]
+
+
+def format_metrics_row(name: str, metrics: Mapping[str, float], width: int = 28) -> str:
+    """One row: method name followed by percentage-formatted metric values."""
+    values = "  ".join(f"{metrics[key] * 100:6.2f}" for key in sorted(metrics))
+    return f"{name:<{width}} {values}"
+
+
+def format_table(results: Mapping[str, Mapping[str, Mapping[str, float] | float]],
+                 title: str = "", metric: str | None = None) -> str:
+    """Render nested ``{row: {column: metrics}}`` results as an aligned text table.
+
+    When ``metric`` is given, each cell shows only that metric; otherwise cells
+    must already be floats.
+    """
+    rows = list(results)
+    columns: list[str] = []
+    for row in rows:
+        for column in results[row]:
+            if column not in columns:
+                columns.append(column)
+    header = f"{'method':<28}" + "".join(f"{c:>14}" for c in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = results[row].get(column)
+            if value is None:
+                cells.append(f"{'-':>14}")
+                continue
+            if metric is not None and isinstance(value, Mapping):
+                value = value[metric]
+            cells.append(f"{value * 100:>13.2f}%")
+        lines.append(f"{row:<28}" + "".join(cells))
+    return "\n".join(lines)

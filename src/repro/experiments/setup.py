@@ -1,0 +1,45 @@
+"""Shared experiment setup: synthetic ledger + subgraph dataset at a given scale."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain import LedgerConfig, generate_ledger
+from repro.data import DatasetConfig, SubgraphDataset, SubgraphDatasetBuilder
+
+__all__ = ["ExperimentConfig", "build_experiment_dataset"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale and sampling parameters shared by every experiment.
+
+    ``scale`` multiplies the default per-category account counts; the benchmark
+    suite uses a small scale so each table regenerates in minutes, while the
+    examples demonstrate larger runs.
+    """
+
+    scale: float = 0.4
+    top_k: int = 100
+    hops: int = 2
+    max_nodes_per_subgraph: int = 60
+    seed: int = 7
+
+    def ledger_config(self) -> LedgerConfig:
+        config = LedgerConfig().scaled(self.scale)
+        config.seed = self.seed
+        return config
+
+    def dataset_config(self) -> DatasetConfig:
+        return DatasetConfig(hops=self.hops, top_k=self.top_k,
+                             max_nodes_per_subgraph=self.max_nodes_per_subgraph,
+                             seed=self.seed)
+
+
+def build_experiment_dataset(config: ExperimentConfig | None = None,
+                             ) -> tuple[SubgraphDataset, "Ledger"]:
+    """Generate the ledger and the account-centred subgraph dataset."""
+    config = config or ExperimentConfig()
+    ledger = generate_ledger(config.ledger_config())
+    dataset = SubgraphDatasetBuilder(ledger, config.dataset_config()).build()
+    return dataset, ledger

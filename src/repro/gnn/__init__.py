@@ -1,0 +1,34 @@
+"""Graph neural network layers, pooling operators and recurrent units.
+
+All layers operate on dense adjacency matrices (the paper's subgraphs average
+~80-120 nodes, Table II) and :class:`repro.nn.Tensor` feature matrices, so the
+whole stack trains with the numpy autograd engine.
+"""
+
+from repro.gnn.layers import (
+    GCNLayer,
+    GATLayer,
+    GINLayer,
+    GraphSAGELayer,
+    APPNPPropagation,
+    normalize_adjacency,
+)
+from repro.gnn.pooling import global_mean_pool, global_max_pool, global_sum_pool, DiffPool
+from repro.gnn.recurrent import GRUCell
+from repro.gnn.hierarchical import HierarchicalAttentionEncoder, GraphAttentionReadout
+
+__all__ = [
+    "GCNLayer",
+    "GATLayer",
+    "GINLayer",
+    "GraphSAGELayer",
+    "APPNPPropagation",
+    "normalize_adjacency",
+    "global_mean_pool",
+    "global_max_pool",
+    "global_sum_pool",
+    "DiffPool",
+    "GRUCell",
+    "HierarchicalAttentionEncoder",
+    "GraphAttentionReadout",
+]

@@ -1,0 +1,57 @@
+"""Graph pooling: global read-outs and differentiable pooling (DiffPool)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.layers import GCNLayer
+from repro.nn import Module, Tensor
+from repro.nn.functional import softmax
+
+__all__ = ["global_mean_pool", "global_max_pool", "global_sum_pool", "DiffPool"]
+
+
+def global_mean_pool(x: Tensor) -> Tensor:
+    """Mean over nodes, returning a ``(1, d)`` graph representation."""
+    return x.mean(axis=0, keepdims=True)
+
+
+def global_max_pool(x: Tensor) -> Tensor:
+    """Element-wise max over nodes (Eq. 10's initial subgraph representation)."""
+    return x.max(axis=0, keepdims=True)
+
+
+def global_sum_pool(x: Tensor) -> Tensor:
+    """Sum over nodes."""
+    return x.sum(axis=0, keepdims=True)
+
+
+class DiffPool(Module):
+    """Differentiable pooling (Ying et al. 2018), used by the LDG branch.
+
+    A GNN produces a soft cluster-assignment matrix ``M = softmax(GNN(A, h))``
+    (Eq. 19); node features and adjacency are then coarsened as
+    ``h_pool = M^T h`` and ``A_pool = M^T A M`` (Eq. 20-21).
+
+    The pooled adjacency is returned as a plain numpy array: gradients flow
+    through the pooled features (the classification path), while the coarsened
+    topology is treated as a constant for the next layer's normalisation.
+    """
+
+    def __init__(self, in_dim: int, num_clusters: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+        self.assign_gnn = GCNLayer(in_dim, num_clusters, activation=None, rng=rng)
+        self.embed_gnn = GCNLayer(in_dim, in_dim, rng=rng)
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> tuple[Tensor, np.ndarray, Tensor]:
+        """Return ``(pooled features, pooled adjacency, assignment matrix)``."""
+        assignment = softmax(self.assign_gnn(x, adjacency), axis=1)   # (n, c)
+        embedded = self.embed_gnn(x, adjacency)                        # (n, d)
+        pooled_features = assignment.T @ embedded                      # (c, d)
+        assign_np = assignment.data
+        pooled_adjacency = assign_np.T @ np.asarray(adjacency) @ assign_np
+        return pooled_features, pooled_adjacency, assignment

@@ -1,0 +1,28 @@
+"""Graph containers and algorithms used throughout the reproduction.
+
+The paper manipulates account-interaction graphs at two granularities: a global
+static graph with merged edges (total amount + count) and per-time-slice local
+dynamic graphs.  :class:`~repro.graph.txgraph.TxGraph` is the common container;
+:mod:`repro.graph.centrality` provides the degree / eigenvector / PageRank
+centralities used by the adaptive graph augmentation of the GSG encoder.
+"""
+
+from repro.graph.txgraph import TxGraph, Edge
+from repro.graph.centrality import (
+    degree_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+    edge_centrality,
+)
+from repro.graph.sampling import ego_subgraph, top_k_neighbors
+
+__all__ = [
+    "TxGraph",
+    "Edge",
+    "degree_centrality",
+    "eigenvector_centrality",
+    "pagerank_centrality",
+    "edge_centrality",
+    "ego_subgraph",
+    "top_k_neighbors",
+]

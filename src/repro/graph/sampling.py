@@ -1,0 +1,52 @@
+"""Neighbourhood sampling used to build account-centred subgraphs (Eq. 2)."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.txgraph import TxGraph
+
+__all__ = ["top_k_neighbors", "ego_subgraph"]
+
+
+def top_k_neighbors(graph: TxGraph, node: Hashable, k: int) -> list[Hashable]:
+    """Return up to ``k`` neighbours of ``node`` ranked by average transaction value.
+
+    Ties on the average transaction value are broken by total transaction value
+    (Section III-B1), then by node identifier for determinism.
+    """
+    scores: dict[Hashable, tuple[float, float]] = {}
+    for edge in list(graph.out_edges(node)) + list(graph.in_edges(node)):
+        other = edge.dst if edge.src == node else edge.src
+        if other == node:
+            continue
+        avg_value = edge.amount / max(edge.count, 1)
+        total_prev, avg_prev = scores.get(other, (0.0, 0.0))
+        scores[other] = (total_prev + edge.amount, max(avg_prev, avg_value))
+    ranked = sorted(scores.items(), key=lambda item: (-item[1][1], -item[1][0], str(item[0])))
+    return [node_id for node_id, _score in ranked[:k]]
+
+
+def ego_subgraph(graph: TxGraph, center: Hashable, hops: int = 2, k: int = 2000) -> TxGraph:
+    """Extract the ``hops``-hop top-K ego subgraph around ``center``.
+
+    This implements the iterative sampling of Eq. 2: starting from the centre,
+    each frontier node contributes its top-K neighbours (by average transaction
+    value) to the next frontier, and the union of all sampled nodes induces the
+    returned subgraph.
+    """
+    if not graph.has_node(center):
+        raise KeyError(f"center node {center!r} is not in the graph")
+    selected: set[Hashable] = {center}
+    frontier: set[Hashable] = {center}
+    for _hop in range(hops):
+        next_frontier: set[Hashable] = set()
+        for node in frontier:
+            for neighbor in top_k_neighbors(graph, node, k):
+                if neighbor not in selected:
+                    next_frontier.add(neighbor)
+        selected |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return graph.subgraph(selected)

@@ -1,0 +1,203 @@
+"""Directed weighted graph container for account-interaction graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Edge", "TxGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A merged directed edge between two accounts.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers (account addresses or integer ids).
+    amount:
+        Total value transferred along this edge (GSG/LDG edge feature ``w``).
+    count:
+        Number of underlying transactions merged into the edge (GSG feature ``t``).
+    timestamp:
+        Representative timestamp (mean of merged transactions); used to assign
+        the edge to an LDG time slice.
+    """
+
+    src: Hashable
+    dst: Hashable
+    amount: float = 0.0
+    count: int = 1
+    timestamp: float = 0.0
+
+
+class TxGraph:
+    """A directed graph with node features, labels and merged weighted edges.
+
+    Nodes are stored in insertion order so that the adjacency / feature matrices
+    returned by :meth:`adjacency_matrix` and :meth:`feature_matrix` have stable
+    row ordering.
+    """
+
+    def __init__(self):
+        self._nodes: dict[Hashable, int] = {}
+        self._node_order: list[Hashable] = []
+        self._edges: dict[tuple[Hashable, Hashable], Edge] = {}
+        self._node_attrs: dict[Hashable, dict] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def add_node(self, node: Hashable, **attrs) -> None:
+        """Add ``node`` (idempotent); merge keyword attributes into its attr dict."""
+        if node not in self._nodes:
+            self._nodes[node] = len(self._node_order)
+            self._node_order.append(node)
+            self._node_attrs[node] = {}
+        if attrs:
+            self._node_attrs[node].update(attrs)
+
+    def has_node(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def node_index(self, node: Hashable) -> int:
+        return self._nodes[node]
+
+    def node_attr(self, node: Hashable, key: str, default=None):
+        return self._node_attrs[node].get(key, default)
+
+    def set_node_attr(self, node: Hashable, key: str, value) -> None:
+        self._node_attrs[node][key] = value
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        return list(self._node_order)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_order)
+
+    # ------------------------------------------------------------------ edges
+    def add_edge(self, src: Hashable, dst: Hashable, amount: float = 0.0,
+                 count: int = 1, timestamp: float = 0.0) -> None:
+        """Add a transaction from ``src`` to ``dst``, merging with any existing edge.
+
+        Merging follows Section III-B3 of the paper: repeated transfers between
+        the same ordered pair collapse into a single edge carrying the total
+        amount and the number of transactions.
+        """
+        self.add_node(src)
+        self.add_node(dst)
+        key = (src, dst)
+        existing = self._edges.get(key)
+        if existing is None:
+            self._edges[key] = Edge(src, dst, amount, count, timestamp)
+        else:
+            total = existing.count + count
+            mean_ts = (existing.timestamp * existing.count + timestamp * count) / total
+            self._edges[key] = Edge(src, dst, existing.amount + amount, total, mean_ts)
+
+    def has_edge(self, src: Hashable, dst: Hashable) -> bool:
+        return (src, dst) in self._edges
+
+    def get_edge(self, src: Hashable, dst: Hashable) -> Edge:
+        return self._edges[(src, dst)]
+
+    @property
+    def edges(self) -> list[Edge]:
+        return list(self._edges.values())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def out_edges(self, node: Hashable) -> Iterator[Edge]:
+        for (src, _dst), edge in self._edges.items():
+            if src == node:
+                yield edge
+
+    def in_edges(self, node: Hashable) -> Iterator[Edge]:
+        for (_src, dst), edge in self._edges.items():
+            if dst == node:
+                yield edge
+
+    def neighbors(self, node: Hashable) -> set[Hashable]:
+        """Return successors and predecessors of ``node`` (undirected neighbourhood)."""
+        out_nbrs = {dst for (src, dst) in self._edges if src == node}
+        in_nbrs = {src for (src, dst) in self._edges if dst == node}
+        return out_nbrs | in_nbrs
+
+    def degree(self, node: Hashable) -> int:
+        return sum(1 for (src, dst) in self._edges if src == node or dst == node)
+
+    # ----------------------------------------------------------------- matrices
+    def adjacency_matrix(self, weighted: bool = False, symmetric: bool = False) -> np.ndarray:
+        """Dense adjacency matrix in node-insertion order.
+
+        Parameters
+        ----------
+        weighted:
+            Use edge amounts instead of 0/1 entries.
+        symmetric:
+            Return ``max(A, A.T)`` — the undirected view used by the GNN encoders.
+        """
+        n = self.num_nodes
+        adj = np.zeros((n, n), dtype=np.float64)
+        for (src, dst), edge in self._edges.items():
+            value = edge.amount if weighted else 1.0
+            adj[self._nodes[src], self._nodes[dst]] = value
+        if symmetric:
+            adj = np.maximum(adj, adj.T)
+        return adj
+
+    def feature_matrix(self, key: str = "features", dim: int | None = None) -> np.ndarray:
+        """Stack per-node feature vectors stored under attribute ``key``."""
+        rows = []
+        for node in self._node_order:
+            vec = self._node_attrs[node].get(key)
+            if vec is None:
+                if dim is None:
+                    raise KeyError(f"node {node!r} has no attribute {key!r} and no dim fallback")
+                vec = np.zeros(dim)
+            rows.append(np.asarray(vec, dtype=np.float64))
+        if not rows:
+            return np.zeros((0, dim or 0))
+        return np.vstack(rows)
+
+    def edge_feature_matrix(self) -> np.ndarray:
+        """Edge features ``[amount, count]`` in edge-insertion order."""
+        if not self._edges:
+            return np.zeros((0, 2))
+        return np.array([[e.amount, float(e.count)] for e in self._edges.values()])
+
+    # --------------------------------------------------------------- subgraphs
+    def subgraph(self, nodes: Iterable[Hashable]) -> "TxGraph":
+        """Induced subgraph on ``nodes``, preserving node attributes and edges."""
+        keep = set(nodes)
+        sub = TxGraph()
+        for node in self._node_order:
+            if node in keep:
+                sub.add_node(node, **self._node_attrs[node])
+        for (src, dst), edge in self._edges.items():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst, edge.amount, edge.count, edge.timestamp)
+        return sub
+
+    def copy(self) -> "TxGraph":
+        return self.subgraph(self._node_order)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` (for interop and validation)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node in self._node_order:
+            g.add_node(node, **self._node_attrs[node])
+        for (src, dst), edge in self._edges.items():
+            g.add_edge(src, dst, amount=edge.amount, count=edge.count,
+                       timestamp=edge.timestamp)
+        return g
+
+    def __repr__(self) -> str:
+        return f"TxGraph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,24 @@
+"""Evaluation metrics: classification scores, ROC/AUC and calibration error."""
+
+from repro.metrics.classification import (
+    accuracy,
+    precision,
+    recall,
+    f1_score,
+    confusion_matrix,
+    classification_report,
+)
+from repro.metrics.ranking import roc_curve, auc_score
+from repro.metrics.calibration_error import expected_calibration_error
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "roc_curve",
+    "auc_score",
+    "expected_calibration_error",
+]

@@ -1,0 +1,52 @@
+"""Expected calibration error (ECE), the paper's calibration quality metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expected_calibration_error"]
+
+
+def expected_calibration_error(y_true, probabilities, num_bins: int = 10) -> float:
+    """Expected calibration error over equal-width confidence bins.
+
+    Following Guo et al. (2017), predictions are bucketed by their confidence
+    (the probability assigned to the positive class for binary problems); the
+    ECE is the weighted average of the absolute gap between each bin's accuracy
+    and its mean confidence.
+
+    Parameters
+    ----------
+    y_true:
+        Binary ground-truth labels.
+    probabilities:
+        Predicted probability of the positive class, in ``[0, 1]``.
+    num_bins:
+        Number of equal-width confidence bins.
+    """
+    y_true = np.asarray(y_true).astype(float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if y_true.shape != probabilities.shape:
+        raise ValueError("y_true and probabilities must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute ECE on empty arrays")
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    # Confidence of the predicted class; predicted class is prob >= 0.5.
+    predicted = (probabilities >= 0.5).astype(float)
+    confidence = np.where(predicted == 1.0, probabilities, 1.0 - probabilities)
+    correct = (predicted == y_true).astype(float)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    ece = 0.0
+    n = y_true.size
+    for low, high in zip(edges[:-1], edges[1:]):
+        if high == 1.0:
+            mask = (confidence >= low) & (confidence <= high)
+        else:
+            mask = (confidence >= low) & (confidence < high)
+        if not mask.any():
+            continue
+        bin_acc = correct[mask].mean()
+        bin_conf = confidence[mask].mean()
+        ece += (mask.sum() / n) * abs(bin_acc - bin_conf)
+    return float(ece)

@@ -1,0 +1,99 @@
+"""Precision, recall, F1 and accuracy, reported macro-averaged like the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correctly classified samples."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def _per_class_counts(y_true: np.ndarray, y_pred: np.ndarray, label) -> tuple[int, int, int]:
+    tp = int(((y_pred == label) & (y_true == label)).sum())
+    fp = int(((y_pred == label) & (y_true != label)).sum())
+    fn = int(((y_pred != label) & (y_true == label)).sum())
+    return tp, fp, fn
+
+
+def precision(y_true, y_pred, average: str = "macro") -> float:
+    """Precision: TP / (TP + FP), macro-averaged over classes by default."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "binary":
+        labels = np.array([1])
+    scores = []
+    for label in labels:
+        tp, fp, _fn = _per_class_counts(y_true, y_pred, label)
+        scores.append(tp / (tp + fp) if (tp + fp) else 0.0)
+    return float(np.mean(scores))
+
+
+def recall(y_true, y_pred, average: str = "macro") -> float:
+    """Recall: TP / (TP + FN), macro-averaged over classes by default."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "binary":
+        labels = np.array([1])
+    scores = []
+    for label in labels:
+        tp, _fp, fn = _per_class_counts(y_true, y_pred, label)
+        scores.append(tp / (tp + fn) if (tp + fn) else 0.0)
+    return float(np.mean(scores))
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """Harmonic mean of precision and recall per class, then averaged."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "binary":
+        labels = np.array([1])
+    scores = []
+    for label in labels:
+        tp, fp, fn = _per_class_counts(y_true, y_pred, label)
+        p = tp / (tp + fp) if (tp + fp) else 0.0
+        r = tp / (tp + fn) if (tp + fn) else 0.0
+        scores.append(2 * p * r / (p + r) if (p + r) else 0.0)
+    return float(np.mean(scores))
+
+
+def confusion_matrix(y_true, y_pred, num_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for t, p in zip(y_true.astype(int), y_pred.astype(int)):
+        matrix[t, p] += 1
+    return matrix
+
+
+def classification_report(y_true, y_pred) -> dict[str, float]:
+    """Dictionary with the four headline metrics used throughout the paper."""
+    return {
+        "precision": precision(y_true, y_pred),
+        "recall": recall(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+        "accuracy": accuracy(y_true, y_pred),
+    }

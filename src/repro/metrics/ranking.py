@@ -1,0 +1,41 @@
+"""ROC curve and area under the curve (used for the Figure 7 classifier study)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_curve", "auc_score"]
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute (false positive rate, true positive rate, thresholds).
+
+    ``y_true`` holds binary labels and ``scores`` the predicted probability of
+    the positive class.  Thresholds are the distinct scores in decreasing order,
+    prepended with ``+inf`` so the curve starts at (0, 0).
+    """
+    y_true = np.asarray(y_true).astype(int)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs at least one positive and one negative sample")
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    tps = np.cumsum(sorted_true == 1)
+    fps = np.cumsum(sorted_true == 0)
+    # Keep only the last index of each distinct score (threshold boundaries).
+    distinct = np.r_[np.flatnonzero(np.diff(sorted_scores)), len(sorted_scores) - 1]
+    tpr = np.r_[0.0, tps[distinct] / n_pos]
+    fpr = np.r_[0.0, fps[distinct] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true, scores) -> float:
+    """Area under the ROC curve via the trapezoidal rule."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,50 @@
+"""Minimal reverse-mode autograd engine and neural-network building blocks.
+
+The paper trains its graph encoders with PyTorch; this subpackage provides a
+self-contained numpy substitute: a :class:`~repro.nn.tensor.Tensor` with
+reverse-mode automatic differentiation, standard layers, optimizers and the
+losses used by DBG4ETH (cross-entropy for supervised training and the NT-Xent
+contrastive loss used by the GSG branch).
+"""
+
+from repro.nn.tensor import Tensor, concat, stack, no_grad
+from repro.nn.functional import (
+    relu,
+    leaky_relu,
+    elu,
+    sigmoid,
+    tanh,
+    softmax,
+    log_softmax,
+    dropout,
+)
+from repro.nn.layers import Linear, Sequential, Module, Parameter, LayerNorm, Embedding
+from repro.nn.losses import cross_entropy, binary_cross_entropy, nt_xent_loss, mse_loss
+from repro.nn.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "Linear",
+    "Sequential",
+    "Module",
+    "Parameter",
+    "LayerNorm",
+    "Embedding",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "nt_xent_loss",
+    "mse_loss",
+    "SGD",
+    "Adam",
+]

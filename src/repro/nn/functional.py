@@ -1,0 +1,82 @@
+"""Activation functions and stateless helpers built on :class:`repro.nn.Tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0.0))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """LeakyReLU, used by the paper for feature alignment and attention scores."""
+    data = np.where(x.data > 0.0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(x.data > 0.0, 1.0, negative_slope))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit, used after attention aggregation (Eq. 9 and 13)."""
+    exp_part = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    data = np.where(x.data > 0.0, x.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(x.data > 0.0, 1.0, exp_part + alpha))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,165 @@
+"""Layer and module abstractions built on the autograd :class:`~repro.nn.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Sequential", "LayerNorm", "Embedding"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class providing parameter discovery, train/eval mode and zero_grad."""
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every :class:`Parameter` reachable through this module's attributes."""
+        seen: set[int] = set()
+        yield from self._collect_parameters(self, seen)
+
+    @staticmethod
+    def _collect_parameters(obj, seen: set[int]) -> Iterator[Parameter]:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, Parameter):
+            yield obj
+            return
+        if isinstance(obj, Module):
+            for value in vars(obj).values():
+                yield from Module._collect_parameters(value, seen)
+        elif isinstance(obj, (list, tuple)):
+            for value in obj:
+                yield from Module._collect_parameters(value, seen)
+        elif isinstance(obj, dict):
+            for value in obj.values():
+                yield from Module._collect_parameters(value, seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for value in vars(self).values():
+            for module in self._collect_modules(value):
+                module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    @staticmethod
+    def _collect_modules(obj) -> Iterable["Module"]:
+        if isinstance(obj, Module):
+            yield obj
+            for value in vars(obj).values():
+                yield from Module._collect_modules(value)
+        elif isinstance(obj, (list, tuple)):
+            for value in obj:
+                yield from Module._collect_modules(value)
+        elif isinstance(obj, dict):
+            for value in obj.values():
+                yield from Module._collect_modules(value)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Return a copy of every parameter array, in parameter-iteration order."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = list(self.parameters())
+        if len(params) != len(state):
+            raise ValueError(
+                f"state has {len(state)} arrays but module has {len(params)} parameters")
+        for param, array in zip(params, state):
+            if param.data.shape != array.shape:
+                raise ValueError(f"shape mismatch: {param.data.shape} vs {array.shape}")
+            param.data[...] = array
+
+
+def _glorot(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_glorot(in_features, out_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Sequential(Module):
+    """Apply a list of modules (or callables) in order."""
+
+    def __init__(self, *steps: Callable):
+        super().__init__()
+        self.steps = list(steps)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)))
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.intp)
+        return self.weight[ids]

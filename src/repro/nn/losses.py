@@ -1,0 +1,98 @@
+"""Loss functions used for supervised and contrastive training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "nt_xent_loss",
+]
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Mean categorical cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, num_classes)`` (unnormalised scores).
+    targets:
+        Integer class indices, shape ``(n,)``.
+    """
+    targets = np.asarray(targets, dtype=np.intp)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy(probabilities: Tensor, targets, eps: float = 1e-12) -> Tensor:
+    """Mean binary cross-entropy on probabilities in ``[0, 1]``."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    clipped = probabilities.clip(eps, 1.0 - eps)
+    loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable BCE on raw logits.
+
+    Uses the log-sum-exp form ``max(z, 0) - z*y + log(1 + exp(-|z|))`` whose
+    gradient is ``sigmoid(z) - y``: unlike clipping sigmoid probabilities, the
+    gradient never vanishes for confidently wrong predictions, which matters
+    for the GSG/LDG branches whose raw scores can saturate early in training.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    z = logits
+    abs_z = z.abs()
+    positive_part = (z + abs_z) * 0.5      # max(z, 0)
+    loss = positive_part - z * targets_t + ((-abs_z).exp() + 1.0).log()
+    return loss.mean()
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    """Mean squared error."""
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def nt_xent_loss(z1: Tensor, z2: Tensor, temperature: float = 0.5) -> Tensor:
+    """Normalised-temperature cross-entropy (NT-Xent) contrastive loss.
+
+    Used by the GSG branch: two augmented views of each subgraph are embedded and
+    the loss pulls matching views together while pushing apart the embeddings of
+    different subgraphs in the same batch.
+
+    Parameters
+    ----------
+    z1, z2:
+        Tensors of shape ``(n, d)``: embeddings of the two views.
+    temperature:
+        Softmax temperature; smaller values sharpen the contrast.
+    """
+    if z1.shape != z2.shape:
+        raise ValueError("the two views must have identical shapes")
+    n = z1.shape[0]
+
+    def normalise(z: Tensor) -> Tensor:
+        norm = (z * z).sum(axis=1, keepdims=True).sqrt() + 1e-12
+        return z / norm
+
+    z1n, z2n = normalise(z1), normalise(z2)
+    # Similarity matrix between every pair of the 2n embeddings.
+    from repro.nn.tensor import concat
+
+    z = concat([z1n, z2n], axis=0)
+    sim = (z @ z.T) * (1.0 / temperature)
+    # Mask self-similarity with a large negative constant so it never wins.
+    mask = np.eye(2 * n) * 1e9
+    sim = sim - Tensor(mask)
+    targets = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    return cross_entropy(sim, targets)

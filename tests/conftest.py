@@ -1,0 +1,54 @@
+"""Shared fixtures: a small synthetic ledger and subgraph dataset.
+
+The heavier fixtures are session-scoped so the ~40 test modules share one
+ledger/dataset build instead of regenerating them per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain import LedgerConfig, generate_ledger
+from repro.data import DatasetConfig, SubgraphDatasetBuilder
+from repro.graph import TxGraph
+
+
+@pytest.fixture(scope="session")
+def small_ledger():
+    """A small but complete synthetic ledger covering all six categories."""
+    config = LedgerConfig().scaled(0.25)
+    config.seed = 11
+    return generate_ledger(config)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_ledger):
+    """Account-centred subgraph dataset built from :func:`small_ledger`."""
+    builder = SubgraphDatasetBuilder(
+        small_ledger, DatasetConfig(top_k=40, max_nodes_per_subgraph=40, seed=3))
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def exchange_task(small_dataset):
+    """(samples, labels) for the exchange one-vs-rest task."""
+    return small_dataset.binary_task("exchange", rng=np.random.default_rng(1))
+
+
+@pytest.fixture()
+def toy_graph():
+    """A hand-built 5-node transaction graph with known structure."""
+    graph = TxGraph()
+    graph.add_edge("a", "b", amount=3.0, timestamp=100.0)
+    graph.add_edge("a", "b", amount=1.0, timestamp=200.0)   # merges with the first
+    graph.add_edge("b", "c", amount=5.0, timestamp=300.0)
+    graph.add_edge("c", "d", amount=0.5, timestamp=400.0)
+    graph.add_edge("d", "a", amount=2.0, timestamp=500.0)
+    graph.add_edge("a", "e", amount=10.0, timestamp=600.0)
+    return graph
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,113 @@
+"""Tests for the 14 baseline classifiers behind the common interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BERT4ETHClassifier,
+    BaselineClassifier,
+    GCNClassifier,
+    baseline_registry,
+)
+from repro.metrics import accuracy
+
+FAST_GNN_KWARGS = dict(hidden_dim=8, epochs=3)
+
+
+@pytest.fixture(scope="module")
+def baseline_task(small_dataset):
+    samples, labels = small_dataset.binary_task("exchange", rng=np.random.default_rng(5))
+    return samples[:16], labels[:16]
+
+
+def fast_registry():
+    """The full registry re-parameterised for test speed."""
+    registry = baseline_registry(seed=0)
+    for model in registry.values():
+        if hasattr(model, "hidden_dim"):
+            model.hidden_dim = 8
+        if hasattr(model, "epochs") and not hasattr(model, "walk_length"):
+            model.epochs = 3
+        if hasattr(model, "walk_length"):
+            model.walk_length = 6
+            model.walks_per_node = 1
+            model.dim = 8
+    return registry
+
+
+class TestRegistry:
+    def test_fourteen_baselines(self):
+        assert len(baseline_registry()) == 14
+
+    def test_names_match_keys(self):
+        for key, model in baseline_registry().items():
+            assert model.name == key
+
+    def test_base_class_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            BaselineClassifier().fit([], [])
+        with pytest.raises(NotImplementedError):
+            BaselineClassifier().predict_proba([])
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize("name", sorted(baseline_registry()))
+    def test_fit_predict_evaluate(self, name, baseline_task):
+        samples, labels = baseline_task
+        model = fast_registry()[name]
+        model.fit(samples, labels)
+        probs = model.predict_proba(samples)
+        assert probs.shape == (len(samples),)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+        predictions = model.predict(samples)
+        assert set(np.unique(predictions)) <= {0, 1}
+        report = model.evaluate(samples, labels)
+        assert set(report) == {"precision", "recall", "f1", "accuracy"}
+
+    def test_gnn_baseline_learns_training_set(self, baseline_task):
+        samples, labels = baseline_task
+        model = GCNClassifier(hidden_dim=16, epochs=10, seed=0)
+        model.fit(samples, labels)
+        assert accuracy(labels, model.predict(samples)) >= 0.7
+
+    def test_unfitted_gnn_baseline_raises(self, baseline_task):
+        samples, _labels = baseline_task
+        with pytest.raises(RuntimeError):
+            GCNClassifier(**FAST_GNN_KWARGS).predict_proba(samples)
+
+    def test_label_length_mismatch_raises(self, baseline_task):
+        samples, labels = baseline_task
+        with pytest.raises(ValueError):
+            GCNClassifier(**FAST_GNN_KWARGS).fit(samples, labels[:-1])
+
+    def test_structure_only_variant_runs(self, baseline_task):
+        samples, labels = baseline_task
+        model = GCNClassifier(hidden_dim=8, epochs=3, use_node_features=False, seed=0)
+        model.fit(samples, labels)
+        assert model.predict(samples).shape == (len(samples),)
+
+    def test_bert4eth_tokenizer_shapes(self, baseline_task):
+        samples, _labels = baseline_task
+        model = BERT4ETHClassifier(**FAST_GNN_KWARGS)
+        tokens = model._tokenize(samples[0])
+        assert tokens.ndim == 2 and tokens.shape[1] == 4
+        assert tokens.shape[0] <= model.max_sequence_length
+
+    def test_bert4eth_handles_center_with_no_edges(self, baseline_task, small_dataset):
+        model = BERT4ETHClassifier(**FAST_GNN_KWARGS)
+        # Construct a degenerate sample graph with an isolated centre.
+        from repro.data.dataset import AccountSubgraph
+        from repro.graph import TxGraph
+
+        graph = TxGraph()
+        graph.add_node("0xlonely")
+        sample = AccountSubgraph(center="0xlonely", category=None, graph=graph,
+                                 node_features=np.zeros((1, 15)), center_index=0)
+        tokens = model._tokenize(sample)
+        assert tokens.shape == (1, 4)
+
+    def test_deterministic_given_seed(self, baseline_task):
+        samples, labels = baseline_task
+        a = GCNClassifier(**FAST_GNN_KWARGS, seed=1).fit(samples, labels).predict_proba(samples)
+        b = GCNClassifier(**FAST_GNN_KWARGS, seed=1).fit(samples, labels).predict_proba(samples)
+        np.testing.assert_allclose(a, b)

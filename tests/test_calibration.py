@@ -1,0 +1,197 @@
+"""Tests for the six calibration methods and the adaptive combiner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import (
+    AdaptiveCalibrator,
+    BBQCalibration,
+    BetaCalibration,
+    HistogramBinning,
+    IsotonicCalibration,
+    LogisticCalibration,
+    NONPARAMETRIC_METHODS,
+    PARAMETRIC_METHODS,
+    TemperatureScaling,
+    confidence_scale,
+    default_calibrators,
+)
+from repro.metrics import expected_calibration_error
+
+ALL_CALIBRATORS = [
+    TemperatureScaling,
+    LogisticCalibration,
+    BetaCalibration,
+    HistogramBinning,
+    IsotonicCalibration,
+    BBQCalibration,
+]
+
+
+def overconfident_data(n=400, seed=0):
+    """Labels drawn from a weaker signal than the stated confidence implies."""
+    rng = np.random.default_rng(seed)
+    confidences = rng.uniform(0.05, 0.95, size=n)
+    # True positive probability is pulled towards 0.5: the model is overconfident.
+    true_prob = 0.5 + 0.5 * (confidences - 0.5)
+    labels = (rng.random(n) < true_prob).astype(float)
+    return confidences, labels
+
+
+class TestConfidenceScale:
+    def test_output_in_unit_interval(self, rng):
+        scaled = confidence_scale(rng.normal(size=100) * 10)
+        assert np.all(scaled > 0.0) and np.all(scaled < 1.0)
+
+    def test_constant_input_maps_to_half(self):
+        np.testing.assert_allclose(confidence_scale(np.full(5, 3.0)), np.full(5, 0.5))
+
+    def test_monotone(self, rng):
+        scores = np.sort(rng.normal(size=50))
+        scaled = confidence_scale(scores)
+        assert np.all(np.diff(scaled) >= 0)
+
+    def test_empty_input(self):
+        assert confidence_scale(np.array([])).size == 0
+
+    def test_reusing_statistics(self):
+        scores = np.array([0.0, 1.0, 2.0])
+        a = confidence_scale(scores, mean=1.0, std=1.0)
+        b = confidence_scale(scores + 10, mean=11.0, std=1.0)
+        np.testing.assert_allclose(a, b)
+
+
+class TestIndividualCalibrators:
+    @pytest.mark.parametrize("calibrator_cls", ALL_CALIBRATORS)
+    def test_outputs_are_probabilities(self, calibrator_cls):
+        confidences, labels = overconfident_data()
+        calibrated = calibrator_cls().fit_transform(confidences, labels)
+        assert np.all(calibrated >= 0.0) and np.all(calibrated <= 1.0)
+
+    @pytest.mark.parametrize("calibrator_cls", ALL_CALIBRATORS)
+    def test_reduces_ece_on_overconfident_data(self, calibrator_cls):
+        confidences, labels = overconfident_data(n=800)
+        before = expected_calibration_error(labels, confidences)
+        calibrated = calibrator_cls().fit_transform(confidences, labels)
+        after = expected_calibration_error(labels, calibrated)
+        assert after <= before + 0.02
+
+    @pytest.mark.parametrize("calibrator_cls", ALL_CALIBRATORS)
+    def test_transform_before_fit_raises(self, calibrator_cls):
+        calibrator = calibrator_cls()
+        if hasattr(calibrator, "_bin_values") or hasattr(calibrator, "_x") \
+                or hasattr(calibrator, "_models"):
+            with pytest.raises(RuntimeError):
+                calibrator.transform(np.array([0.5]))
+
+    @pytest.mark.parametrize("calibrator_cls", ALL_CALIBRATORS)
+    def test_shape_mismatch_raises(self, calibrator_cls):
+        with pytest.raises(ValueError):
+            calibrator_cls().fit(np.array([0.1, 0.9]), np.array([1.0]))
+
+    def test_temperature_scaling_learns_positive_temperature(self):
+        confidences, labels = overconfident_data()
+        calibrator = TemperatureScaling().fit(confidences, labels)
+        assert calibrator.temperature > 0.0
+
+    def test_temperature_softens_overconfident_scores(self):
+        confidences, labels = overconfident_data(n=1000, seed=3)
+        calibrator = TemperatureScaling().fit(confidences, labels)
+        calibrated = calibrator.transform(np.array([0.95]))
+        assert calibrated[0] < 0.95
+
+    def test_logistic_calibration_is_monotone(self):
+        confidences, labels = overconfident_data()
+        calibrator = LogisticCalibration().fit(confidences, labels)
+        grid = np.linspace(0.01, 0.99, 50)
+        out = calibrator.transform(grid)
+        assert np.all(np.diff(out) >= -1e-9) or np.all(np.diff(out) <= 1e-9)
+
+    def test_histogram_binning_constant_within_bin(self):
+        confidences, labels = overconfident_data()
+        calibrator = HistogramBinning(num_bins=10).fit(confidences, labels)
+        out = calibrator.transform(np.array([0.11, 0.19]))
+        assert out[0] == pytest.approx(out[1])
+
+    def test_histogram_invalid_bins_raises(self):
+        with pytest.raises(ValueError):
+            HistogramBinning(num_bins=0)
+
+    def test_isotonic_output_is_monotone(self):
+        confidences, labels = overconfident_data()
+        calibrator = IsotonicCalibration().fit(confidences, labels)
+        out = calibrator.transform(np.linspace(0, 1, 100))
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_isotonic_fits_monotone_data_exactly(self):
+        confidences = np.array([0.1, 0.2, 0.3, 0.4])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        calibrator = IsotonicCalibration().fit(confidences, labels)
+        np.testing.assert_allclose(calibrator.transform(confidences), labels, atol=1e-9)
+
+    def test_bbq_weights_sum_to_one(self):
+        confidences, labels = overconfident_data()
+        calibrator = BBQCalibration().fit(confidences, labels)
+        assert sum(w for _e, _p, w in calibrator._models) == pytest.approx(1.0)
+
+
+class TestAdaptiveCalibrator:
+    def test_default_method_pool(self):
+        assert set(default_calibrators()) == set(PARAMETRIC_METHODS) | set(NONPARAMETRIC_METHODS)
+
+    def test_weights_sum_to_one(self):
+        confidences, labels = overconfident_data()
+        calibrator = AdaptiveCalibrator().fit(confidences, labels)
+        assert sum(calibrator.weights().values()) == pytest.approx(1.0)
+
+    def test_combined_output_in_unit_interval(self):
+        confidences, labels = overconfident_data()
+        combined = AdaptiveCalibrator().fit_transform(confidences, labels)
+        assert np.all(combined >= 0.0) and np.all(combined <= 1.0)
+
+    def test_combined_ece_not_worse_than_uncalibrated(self):
+        confidences, labels = overconfident_data(n=800, seed=5)
+        combined = AdaptiveCalibrator().fit_transform(confidences, labels)
+        assert expected_calibration_error(labels, combined) <= \
+            expected_calibration_error(labels, confidences) + 0.02
+
+    def test_report_contains_every_method(self):
+        confidences, labels = overconfident_data()
+        calibrator = AdaptiveCalibrator().fit(confidences, labels)
+        assert set(calibrator.report.method_ece) == set(default_calibrators())
+
+    def test_better_methods_get_larger_weights(self):
+        confidences, labels = overconfident_data()
+        calibrator = AdaptiveCalibrator().fit(confidences, labels)
+        reductions = calibrator.report.ece_reduction
+        weights = calibrator.weights()
+        best = max(reductions, key=reductions.get)
+        worst = min(reductions, key=reductions.get)
+        assert weights[best] >= weights[worst]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveCalibrator().transform(np.array([0.5]))
+
+    def test_empty_calibrator_pool_raises(self):
+        with pytest.raises(ValueError):
+            AdaptiveCalibrator(calibrators={})
+
+    def test_restricted_pool_only_uses_named_methods(self):
+        confidences, labels = overconfident_data()
+        pool = {name: cal for name, cal in default_calibrators().items()
+                if name in NONPARAMETRIC_METHODS}
+        calibrator = AdaptiveCalibrator(pool).fit(confidences, labels)
+        assert set(calibrator.weights()) == set(NONPARAMETRIC_METHODS)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_adaptive_calibration_outputs_valid_probabilities_for_any_seed(seed):
+    confidences, labels = overconfident_data(n=120, seed=seed)
+    if labels.sum() in (0, len(labels)):
+        labels[0] = 1 - labels[0]
+    combined = AdaptiveCalibrator().fit_transform(confidences, labels)
+    assert np.all(np.isfinite(combined))
+    assert np.all(combined >= 0.0) and np.all(combined <= 1.0)

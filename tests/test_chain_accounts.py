@@ -1,0 +1,61 @@
+"""Tests for the Ethereum account model."""
+
+import pytest
+
+from repro.chain import Account, AccountType
+from repro.chain.accounts import make_address
+
+
+class TestAccount:
+    def test_default_is_eoa(self):
+        account = Account("0x" + "0" * 40)
+        assert account.account_type is AccountType.EOA
+        assert not account.is_contract
+
+    def test_contract_flag(self):
+        account = Account("0x" + "1" * 40, AccountType.CONTRACT)
+        assert account.is_contract
+
+    def test_credit_increases_balance(self):
+        account = Account("0x" + "0" * 40)
+        account.credit(2.5)
+        assert account.balance == pytest.approx(2.5)
+
+    def test_credit_negative_raises(self):
+        with pytest.raises(ValueError):
+            Account("0x" + "0" * 40).credit(-1.0)
+
+    def test_debit_reduces_balance(self):
+        account = Account("0x" + "0" * 40, balance=5.0)
+        account.debit(3.0)
+        assert account.balance == pytest.approx(2.0)
+
+    def test_debit_overdraw_raises(self):
+        account = Account("0x" + "0" * 40, balance=1.0)
+        with pytest.raises(ValueError):
+            account.debit(2.0)
+
+    def test_debit_negative_raises(self):
+        with pytest.raises(ValueError):
+            Account("0x" + "0" * 40, balance=1.0).debit(-0.5)
+
+    def test_nonce_advances(self):
+        account = Account("0x" + "0" * 40)
+        assert account.next_nonce() == 0
+        assert account.next_nonce() == 1
+        assert account.nonce == 2
+
+
+class TestMakeAddress:
+    def test_format(self):
+        address = make_address(7, prefix="ex")
+        assert address.startswith("0x") and len(address) == 42
+
+    def test_is_hex(self):
+        int(make_address(123, prefix="L")[2:], 16)
+
+    def test_distinct_indices_give_distinct_addresses(self):
+        assert make_address(1, "u") != make_address(2, "u")
+
+    def test_distinct_prefixes_give_distinct_addresses(self):
+        assert make_address(1, "u") != make_address(1, "c")

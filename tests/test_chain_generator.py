@@ -1,0 +1,141 @@
+"""Tests for the synthetic ledger generator and the behavioural archetypes."""
+
+import numpy as np
+import pytest
+
+from repro.chain import AccountCategory, LedgerConfig, LedgerGenerator, generate_ledger
+from repro.chain.behaviors import (
+    BEHAVIORS,
+    behavior_for,
+    bridge_behavior,
+    defi_behavior,
+    exchange_behavior,
+    ico_wallet_behavior,
+    mining_behavior,
+    phish_hack_behavior,
+)
+
+
+@pytest.fixture()
+def behavior_env(rng):
+    users = [f"0xu{i:02d}" for i in range(60)]
+    contracts = [f"0xc{i:02d}" for i in range(10)]
+    return users, contracts, rng, 1_000_000.0, 1_000_000.0
+
+
+class TestBehaviors:
+    def test_registry_covers_all_categories(self):
+        assert set(BEHAVIORS) == set(AccountCategory)
+
+    def test_behavior_for_accepts_strings(self):
+        assert behavior_for("defi") is defi_behavior
+
+    def test_exchange_has_bidirectional_flow(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = exchange_behavior("0xex", users, contracts, rng, start, span)
+        senders = {t[0] for t in txs}
+        receivers = {t[1] for t in txs}
+        assert "0xex" in senders and "0xex" in receivers
+        assert len(senders | receivers) > 20
+
+    def test_ico_wallet_inflow_precedes_disbursement(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = ico_wallet_behavior("0xico", users, contracts, rng, start, span)
+        inflow_times = [t[5] for t in txs if t[1] == "0xico"]
+        outflow_times = [t[5] for t in txs if t[0] == "0xico"]
+        assert max(inflow_times) < min(outflow_times)
+        assert len(inflow_times) > len(outflow_times)
+
+    def test_mining_rewards_are_periodic_and_constant(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = mining_behavior("0xminer", users, contracts, rng, start, span)
+        rewards = [t[2] for t in txs if t[1] == "0xminer"]
+        assert len(rewards) >= 30
+        assert np.std(rewards) / np.mean(rewards) < 0.1
+
+    def test_phish_sweeps_most_of_the_stolen_funds(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = phish_hack_behavior("0xbad", users, contracts, rng, start, span)
+        stolen = sum(t[2] for t in txs if t[1] == "0xbad")
+        swept = sum(t[2] for t in txs if t[0] == "0xbad")
+        assert swept == pytest.approx(stolen * 0.98, rel=1e-6)
+
+    def test_phish_burst_is_short(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = phish_hack_behavior("0xbad", users, contracts, rng, start, span)
+        times = [t[5] for t in txs]
+        assert (max(times) - min(times)) < span * 0.2
+
+    def test_bridge_pairs_match_amounts(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = bridge_behavior("0xbridge", users, contracts, rng, start, span)
+        inflows = sorted(t for t in txs if t[1] == "0xbridge")
+        outflows = sorted(t for t in txs if t[0] == "0xbridge")
+        assert len(inflows) == len(outflows)
+        assert all(t[6] for t in txs)  # every leg is a contract call
+
+    def test_defi_is_contract_call_heavy(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = defi_behavior("0xdefi", users, contracts, rng, start, span)
+        assert all(t[6] for t in txs)
+        counterparties = {t[0] for t in txs} | {t[1] for t in txs}
+        assert counterparties - {"0xdefi"} <= set(contracts)
+
+
+class TestLedgerConfig:
+    def test_scaled_reduces_counts(self):
+        config = LedgerConfig().scaled(0.1)
+        assert config.labeled_per_category[AccountCategory.PHISH_HACK] \
+            < LedgerConfig().labeled_per_category[AccountCategory.PHISH_HACK]
+
+    def test_scaled_keeps_minimum_of_two(self):
+        config = LedgerConfig().scaled(0.0001)
+        assert all(v >= 2 for v in config.labeled_per_category.values())
+
+
+class TestLedgerGenerator:
+    def test_generation_is_deterministic(self):
+        config = LedgerConfig().scaled(0.1)
+        a = LedgerGenerator(config).generate()
+        b = LedgerGenerator(config).generate()
+        assert a.num_transactions == b.num_transactions
+        assert [t.tx_hash for t in a.transactions()][:10] == \
+            [t.tx_hash for t in b.transactions()][:10]
+
+    def test_different_seeds_differ(self):
+        a = generate_ledger(LedgerConfig().scaled(0.1), seed=1)
+        b = generate_ledger(LedgerConfig().scaled(0.1), seed=2)
+        assert a.num_transactions != b.num_transactions or \
+            [t.value for t in a.transactions()][:20] != [t.value for t in b.transactions()][:20]
+
+    def test_all_categories_are_labelled(self, small_ledger):
+        counts = small_ledger.labels.counts()
+        assert set(counts) == set(AccountCategory)
+        assert all(v >= 2 for v in counts.values())
+
+    def test_every_labeled_account_has_transactions(self, small_ledger):
+        for address, _category in small_ledger.labels.items():
+            assert len(small_ledger.transactions_for(address)) > 0
+
+    def test_blocks_are_ordered_by_timestamp(self, small_ledger):
+        timestamps = [b.timestamp for b in small_ledger.blocks]
+        assert timestamps == sorted(timestamps)
+
+    def test_transactions_within_configured_timespan(self, small_ledger):
+        config = LedgerConfig()
+        low, high = small_ledger.timespan()
+        assert low >= config.start_timestamp - 1e4
+        assert high <= config.start_timestamp + config.timespan + 1e5
+
+    def test_some_contract_calls_exist(self, small_ledger):
+        assert any(tx.is_contract_call for tx in small_ledger.transactions())
+
+    def test_unsubmitted_fraction_is_small(self, small_ledger):
+        all_txs = list(small_ledger.transactions(include_unsubmitted=True))
+        unsubmitted = [t for t in all_txs if not t.submitted]
+        assert len(unsubmitted) < 0.05 * len(all_txs)
+
+    def test_registered_accounts_cover_transaction_endpoints(self, small_ledger):
+        for tx in list(small_ledger.transactions())[:200]:
+            assert small_ledger.has_account(tx.sender)
+            assert small_ledger.has_account(tx.receiver)

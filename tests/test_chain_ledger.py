@@ -1,0 +1,153 @@
+"""Tests for the Ledger container, transactions, blocks and the label cloud."""
+
+import pytest
+
+from repro.chain import (
+    Account,
+    AccountCategory,
+    AccountType,
+    Block,
+    LabelCloud,
+    Ledger,
+    Transaction,
+)
+
+
+def make_tx(i: int, sender="0xaa", receiver="0xbb", submitted=True, **kwargs) -> Transaction:
+    defaults = dict(value=1.0, gas_price=20.0, gas_used=21_000, timestamp=1000.0 + i,
+                    is_contract_call=False)
+    defaults.update(kwargs)
+    return Transaction(tx_hash=f"0x{i:04x}", sender=sender, receiver=receiver,
+                       submitted=submitted, **defaults)
+
+
+class TestTransaction:
+    def test_fee_conversion_from_gwei(self):
+        tx = make_tx(0, gas_price=50.0, gas_used=21_000)
+        assert tx.fee_eth == pytest.approx(50.0 * 21_000 / 1e9)
+
+    def test_value_wei(self):
+        assert make_tx(0, value=1.5).value_wei == int(1.5e18)
+
+
+class TestBlock:
+    def test_counts_and_total(self):
+        block = Block(0, 1000.0, [make_tx(0, value=1.0), make_tx(1, value=2.0)])
+        assert block.num_transactions == 2
+        assert block.total_value() == pytest.approx(3.0)
+
+
+class TestLedgerAccounts:
+    def test_add_and_get(self):
+        ledger = Ledger()
+        ledger.add_account(Account("0xaa"))
+        assert ledger.get_account("0xaa").address == "0xaa"
+        assert ledger.has_account("0xaa")
+
+    def test_duplicate_address_raises(self):
+        ledger = Ledger()
+        ledger.add_account(Account("0xaa"))
+        with pytest.raises(ValueError):
+            ledger.add_account(Account("0xaa"))
+
+    def test_is_contract(self):
+        ledger = Ledger()
+        ledger.add_account(Account("0xcc", AccountType.CONTRACT))
+        ledger.add_account(Account("0xee"))
+        assert ledger.is_contract("0xcc")
+        assert not ledger.is_contract("0xee")
+        assert not ledger.is_contract("0xunknown")
+
+
+class TestLedgerBlocks:
+    def test_append_and_query(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0), make_tx(1)]))
+        ledger.append_block(Block(1, 1012.0, [make_tx(2)]))
+        assert ledger.num_blocks == 2
+        assert ledger.num_transactions == 3
+
+    def test_block_numbers_must_increase(self):
+        ledger = Ledger()
+        ledger.append_block(Block(1, 1000.0, []))
+        with pytest.raises(ValueError):
+            ledger.append_block(Block(1, 1012.0, []))
+
+    def test_transactions_iterates_in_block_order(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0), make_tx(1)]))
+        hashes = [tx.tx_hash for tx in ledger.transactions()]
+        assert hashes == ["0x0000", "0x0001"]
+
+    def test_unsubmitted_excluded_by_default(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0), make_tx(1, submitted=False)]))
+        assert len(list(ledger.transactions())) == 1
+        assert len(list(ledger.transactions(include_unsubmitted=True))) == 2
+
+    def test_transactions_for_address(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [
+            make_tx(0, sender="0xaa", receiver="0xbb"),
+            make_tx(1, sender="0xcc", receiver="0xaa"),
+            make_tx(2, sender="0xcc", receiver="0xdd"),
+        ]))
+        assert len(ledger.transactions_for("0xaa")) == 2
+        assert ledger.transactions_for("0xzz") == []
+
+    def test_get_transaction_by_hash(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0)]))
+        assert ledger.get_transaction("0x0000").sender == "0xaa"
+
+    def test_timespan(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0), make_tx(5)]))
+        low, high = ledger.timespan()
+        assert low == pytest.approx(1000.0)
+        assert high == pytest.approx(1005.0)
+
+    def test_timespan_empty_ledger(self):
+        ledger = Ledger(genesis_timestamp=42.0)
+        assert ledger.timespan() == (42.0, 42.0)
+
+    def test_summary_keys(self, small_ledger):
+        summary = small_ledger.summary()
+        assert {"num_accounts", "num_transactions", "num_labeled", "label_counts"} <= set(summary)
+
+
+class TestLabelCloud:
+    def test_add_and_get(self):
+        cloud = LabelCloud()
+        cloud.add("0xaa", AccountCategory.EXCHANGE)
+        assert cloud.get("0xaa") is AccountCategory.EXCHANGE
+        assert "0xaa" in cloud
+        assert len(cloud) == 1
+
+    def test_conflicting_label_raises(self):
+        cloud = LabelCloud()
+        cloud.add("0xaa", AccountCategory.EXCHANGE)
+        with pytest.raises(ValueError):
+            cloud.add("0xaa", AccountCategory.MINING)
+
+    def test_same_label_twice_is_fine(self):
+        cloud = LabelCloud()
+        cloud.add("0xaa", AccountCategory.DEFI)
+        cloud.add("0xaa", AccountCategory.DEFI)
+        assert len(cloud) == 1
+
+    def test_addresses_filter_by_category(self):
+        cloud = LabelCloud()
+        cloud.update([("0xaa", AccountCategory.BRIDGE), ("0xbb", AccountCategory.DEFI)])
+        assert cloud.addresses(AccountCategory.BRIDGE) == ["0xaa"]
+        assert set(cloud.addresses()) == {"0xaa", "0xbb"}
+
+    def test_counts(self):
+        cloud = LabelCloud()
+        cloud.update([("0xaa", AccountCategory.DEFI), ("0xbb", AccountCategory.DEFI)])
+        assert cloud.counts()[AccountCategory.DEFI] == 2
+
+    def test_category_helpers(self):
+        assert len(AccountCategory.core_four()) == 4
+        assert AccountCategory.BRIDGE in AccountCategory.novel_two()
+        assert AccountCategory("phish/hack") is AccountCategory.PHISH_HACK

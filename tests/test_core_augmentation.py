@@ -1,0 +1,118 @@
+"""Tests for adaptive graph augmentation (contrastive views)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AugmentationConfig, adaptive_augmentation
+
+
+@pytest.fixture()
+def graph_inputs(rng):
+    adjacency = (rng.random((12, 12)) > 0.6).astype(float)
+    adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 0.0)
+    features = rng.normal(size=(12, 15))
+    return adjacency, features
+
+
+class TestAugmentationConfig:
+    def test_invalid_edge_probability(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(edge_drop_prob=1.5)
+
+    def test_invalid_feature_probability(self):
+        with pytest.raises(ValueError):
+            AugmentationConfig(feature_mask_prob=-0.1)
+
+    def test_defaults_match_paper_view1(self):
+        config = AugmentationConfig()
+        assert config.edge_drop_prob == pytest.approx(0.3)
+        assert config.feature_mask_prob == pytest.approx(0.1)
+
+
+class TestAdaptiveAugmentation:
+    def test_shapes_preserved(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        aug_adj, aug_feat = adaptive_augmentation(adjacency, features,
+                                                  AugmentationConfig(0.3, 0.2), rng)
+        assert aug_adj.shape == adjacency.shape
+        assert aug_feat.shape == features.shape
+
+    def test_zero_probabilities_are_identity(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        aug_adj, aug_feat = adaptive_augmentation(adjacency, features,
+                                                  AugmentationConfig(0.0, 0.0), rng)
+        np.testing.assert_allclose(aug_adj, adjacency)
+        np.testing.assert_allclose(aug_feat, features)
+
+    def test_edges_only_removed_never_added(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        aug_adj, _ = adaptive_augmentation(adjacency, features,
+                                           AugmentationConfig(0.5, 0.0), rng)
+        assert np.all((aug_adj > 0) <= (adjacency > 0))
+
+    def test_some_edges_dropped_at_high_probability(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        aug_adj, _ = adaptive_augmentation(adjacency, features,
+                                           AugmentationConfig(0.8, 0.0), rng)
+        assert (aug_adj > 0).sum() < (adjacency > 0).sum()
+
+    def test_feature_masking_zeroes_whole_columns(self, graph_inputs):
+        adjacency, features = graph_inputs
+        features = features + 10.0  # keep away from zero so masking is detectable
+        rng = np.random.default_rng(1)
+        _, aug_feat = adaptive_augmentation(adjacency, features,
+                                            AugmentationConfig(0.0, 0.8), rng)
+        masked_columns = np.flatnonzero((aug_feat == 0.0).all(axis=0))
+        assert masked_columns.size > 0
+        untouched = np.setdiff1d(np.arange(features.shape[1]), masked_columns)
+        np.testing.assert_allclose(aug_feat[:, untouched], features[:, untouched])
+
+    def test_original_arrays_not_mutated(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        adjacency_copy, features_copy = adjacency.copy(), features.copy()
+        adaptive_augmentation(adjacency, features, AugmentationConfig(0.5, 0.5), rng)
+        np.testing.assert_allclose(adjacency, adjacency_copy)
+        np.testing.assert_allclose(features, features_copy)
+
+    def test_deterministic_given_rng(self, graph_inputs):
+        adjacency, features = graph_inputs
+        a = adaptive_augmentation(adjacency, features, AugmentationConfig(0.4, 0.2),
+                                  np.random.default_rng(7))
+        b = adaptive_augmentation(adjacency, features, AugmentationConfig(0.4, 0.2),
+                                  np.random.default_rng(7))
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    @pytest.mark.parametrize("measure", ["degree", "eigenvector", "pagerank"])
+    def test_all_centrality_measures_work(self, graph_inputs, rng, measure):
+        adjacency, features = graph_inputs
+        config = AugmentationConfig(0.3, 0.1, centrality_measure=measure)
+        aug_adj, aug_feat = adaptive_augmentation(adjacency, features, config, rng)
+        assert np.all(np.isfinite(aug_adj)) and np.all(np.isfinite(aug_feat))
+
+    def test_unknown_centrality_raises(self, graph_inputs, rng):
+        adjacency, features = graph_inputs
+        config = AugmentationConfig(0.3, 0.1, centrality_measure="katz")
+        with pytest.raises(ValueError):
+            adaptive_augmentation(adjacency, features, config, rng)
+
+    def test_high_centrality_edges_survive_more_often(self):
+        """Edges attached to the hub should be dropped less often than leaf-leaf edges."""
+        rng_master = np.random.default_rng(0)
+        # Star around node 0 plus a peripheral chain of low-degree edges.
+        n = 10
+        adjacency = np.zeros((n, n))
+        for leaf in range(1, 6):
+            adjacency[0, leaf] = adjacency[leaf, 0] = 1.0
+        for i in range(6, 9):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        features = np.ones((n, 3))
+        config = AugmentationConfig(0.5, 0.0)
+        hub_kept = chain_kept = 0
+        for trial in range(200):
+            aug, _ = adaptive_augmentation(adjacency, features, config,
+                                           np.random.default_rng(trial))
+            hub_kept += int(aug[0, 1] > 0)
+            chain_kept += int(aug[6, 7] > 0)
+        assert hub_kept > chain_kept

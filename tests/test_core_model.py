@@ -1,0 +1,104 @@
+"""Tests for the end-to-end DBG4ETH model and its ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.core import CalibrationConfig, DBG4ETH, DBG4ETHConfig, GSGConfig, LDGConfig
+from repro.data import train_test_split
+from repro.metrics import accuracy, f1_score
+
+
+def tiny_config(**overrides) -> DBG4ETHConfig:
+    config = DBG4ETHConfig(
+        gsg=GSGConfig(hidden_dim=8, epochs=4, contrastive_batch=4),
+        ldg=LDGConfig(hidden_dim=8, epochs=4, num_slices=3, first_pool_clusters=4),
+        calibration=CalibrationConfig(),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.fixture(scope="module")
+def split_task(small_dataset):
+    samples, labels = small_dataset.binary_task("phish/hack", rng=np.random.default_rng(2))
+    return train_test_split(samples, labels, test_fraction=0.3, seed=2)
+
+
+class TestConfig:
+    def test_both_branches_disabled_raises(self):
+        with pytest.raises(ValueError):
+            DBG4ETHConfig(use_gsg=False, use_ldg=False)
+
+    def test_default_classifier_is_lightgbm(self):
+        assert DBG4ETHConfig().classifier == "lightgbm"
+
+
+class TestDBG4ETH:
+    def test_predict_before_fit_raises(self, split_task):
+        _train_s, _train_y, test_s, _test_y = split_task
+        with pytest.raises(RuntimeError):
+            DBG4ETH(tiny_config()).predict(test_s)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            DBG4ETH(tiny_config()).fit([], [])
+
+    def test_fit_length_mismatch_raises(self, split_task):
+        train_s, train_y, _test_s, _test_y = split_task
+        with pytest.raises(ValueError):
+            DBG4ETH(tiny_config()).fit(train_s, train_y[:-1])
+
+    def test_end_to_end_beats_chance(self, split_task):
+        train_s, train_y, test_s, test_y = split_task
+        model = DBG4ETH(tiny_config()).fit(train_s, train_y)
+        predictions = model.predict(test_s)
+        assert predictions.shape == (len(test_s),)
+        assert accuracy(test_y, predictions) >= 0.6
+        assert f1_score(test_y, predictions) > 0.0
+
+    def test_predict_proba_valid(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        model = DBG4ETH(tiny_config()).fit(train_s, train_y)
+        probs = model.predict_proba(test_s)
+        assert probs.shape == (len(test_s),)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_calibration_weights_exposed(self, split_task):
+        train_s, train_y, _test_s, _test_y = split_task
+        model = DBG4ETH(tiny_config()).fit(train_s, train_y)
+        weights = model.calibration_weights()
+        assert set(weights) == {"gsg", "ldg"}
+        assert sum(weights["gsg"].values()) == pytest.approx(1.0)
+
+    def test_without_gsg_branch(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        model = DBG4ETH(tiny_config(use_gsg=False)).fit(train_s, train_y)
+        assert model.gsg_branch is None
+        assert model.predict(test_s).shape == (len(test_s),)
+
+    def test_without_ldg_branch(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        model = DBG4ETH(tiny_config(use_ldg=False)).fit(train_s, train_y)
+        assert model.ldg_branch is None
+        assert model.predict(test_s).shape == (len(test_s),)
+
+    def test_without_calibration(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        config = tiny_config()
+        config.calibration = CalibrationConfig(use_calibration=False)
+        model = DBG4ETH(config).fit(train_s, train_y)
+        assert model.calibration_weights() == {"gsg": {}, "ldg": {}}
+        assert model.predict(test_s).shape == (len(test_s),)
+
+    def test_mlp_classifier_variant(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        model = DBG4ETH(tiny_config(classifier="mlp")).fit(train_s, train_y)
+        probs = model.predict_proba(test_s)
+        assert np.all(np.isfinite(probs))
+
+    def test_deterministic_given_seed(self, split_task):
+        train_s, train_y, test_s, _test_y = split_task
+        a = DBG4ETH(tiny_config()).fit(train_s, train_y).predict_proba(test_s)
+        b = DBG4ETH(tiny_config()).fit(train_s, train_y).predict_proba(test_s)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,131 @@
+"""Tests for transaction filtering, graph building and time slicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Transaction
+from repro.data import (
+    build_transaction_graph,
+    filter_transactions,
+    time_slice_adjacency,
+    transaction_evolution_times,
+)
+from repro.graph import TxGraph
+
+
+def make_tx(i, sender="0xaa", receiver="0xbb", value=1.0, submitted=True):
+    return Transaction(f"0x{i}", sender, receiver, value, 20.0, 21_000,
+                       1000.0 + i, submitted=submitted)
+
+
+class TestFilterTransactions:
+    def test_drops_unsubmitted(self):
+        kept = filter_transactions([make_tx(0), make_tx(1, submitted=False)])
+        assert len(kept) == 1
+
+    def test_drops_self_transfers(self):
+        kept = filter_transactions([make_tx(0, sender="0xaa", receiver="0xaa")])
+        assert kept == []
+
+    def test_min_value_threshold(self):
+        kept = filter_transactions([make_tx(0, value=0.001), make_tx(1, value=5.0)],
+                                   min_value=0.01)
+        assert len(kept) == 1 and kept[0].value == 5.0
+
+    def test_keeps_order(self):
+        kept = filter_transactions([make_tx(i) for i in range(5)])
+        assert [t.tx_hash for t in kept] == [f"0x{i}" for i in range(5)]
+
+
+class TestBuildTransactionGraph:
+    def test_nodes_and_edges_from_ledger(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        assert graph.num_nodes > 0 and graph.num_edges > 0
+
+    def test_labels_attached_as_node_attributes(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        labelled = [n for n in graph.nodes if graph.node_attr(n, "label") is not None]
+        assert len(labelled) > 0
+
+    def test_contract_flag_attached(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        assert any(graph.node_attr(n, "is_contract") for n in graph.nodes)
+
+    def test_repeated_transfers_merge(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        assert any(edge.count > 1 for edge in graph.edges)
+
+    def test_no_unsubmitted_edges(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        submitted_value = sum(t.value for t in small_ledger.transactions()
+                              if t.sender != t.receiver)
+        graph_value = sum(e.amount for e in graph.edges)
+        assert graph_value == pytest.approx(submitted_value, rel=1e-6)
+
+
+class TestEvolutionTimes:
+    def test_values_in_unit_interval(self, toy_graph):
+        times = transaction_evolution_times(toy_graph)
+        assert all(0.0 <= v <= 1.0 for v in times.values())
+
+    def test_earliest_is_zero_latest_is_one(self, toy_graph):
+        times = transaction_evolution_times(toy_graph)
+        assert min(times.values()) == pytest.approx(0.0)
+        assert max(times.values()) == pytest.approx(1.0)
+
+    def test_single_timestamp_graph(self):
+        g = TxGraph()
+        g.add_edge("a", "b", amount=1.0, timestamp=50.0)
+        g.add_edge("b", "c", amount=1.0, timestamp=50.0)
+        assert set(transaction_evolution_times(g).values()) == {0.0}
+
+    def test_empty_graph(self):
+        assert transaction_evolution_times(TxGraph()) == {}
+
+
+class TestTimeSlices:
+    def test_number_and_shape_of_slices(self, toy_graph):
+        slices = time_slice_adjacency(toy_graph, 4)
+        assert len(slices) == 4
+        assert all(s.shape == (5, 5) for s in slices)
+
+    def test_slices_are_symmetric(self, toy_graph):
+        for matrix in time_slice_adjacency(toy_graph, 3):
+            np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_every_edge_lands_in_exactly_one_slice(self, toy_graph):
+        slices = time_slice_adjacency(toy_graph, 4, weighted=False)
+        total_mass = sum(s.sum() for s in slices)
+        assert total_mass == pytest.approx(2 * toy_graph.num_edges)  # symmetrised
+
+    def test_union_matches_static_adjacency(self, toy_graph):
+        slices = time_slice_adjacency(toy_graph, 5, weighted=True)
+        combined = (np.sum(slices, axis=0) > 0).astype(float)
+        static = toy_graph.adjacency_matrix(symmetric=True)
+        np.testing.assert_allclose(combined, (static > 0).astype(float))
+
+    def test_cumulative_slices_grow_monotonically(self, toy_graph):
+        slices = time_slice_adjacency(toy_graph, 4, cumulative=True)
+        for earlier, later in zip(slices[:-1], slices[1:]):
+            assert np.all(later >= earlier)
+
+    def test_single_slice_equals_full_graph(self, toy_graph):
+        matrix = time_slice_adjacency(toy_graph, 1, weighted=True)[0]
+        expected = toy_graph.adjacency_matrix(weighted=True, symmetric=False)
+        np.testing.assert_allclose(matrix, expected + expected.T)
+
+    def test_zero_slices_raises(self, toy_graph):
+        with pytest.raises(ValueError):
+            time_slice_adjacency(toy_graph, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 8))
+def test_slice_mass_is_conserved_for_any_slice_count(num_slices):
+    g = TxGraph()
+    g.add_edge("a", "b", amount=2.0, timestamp=10.0)
+    g.add_edge("b", "c", amount=3.0, timestamp=20.0)
+    g.add_edge("c", "a", amount=4.0, timestamp=30.0)
+    slices = time_slice_adjacency(g, num_slices, weighted=True)
+    assert sum(s.sum() for s in slices) == pytest.approx(2 * (2.0 + 3.0 + 4.0))

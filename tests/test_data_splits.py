@@ -1,0 +1,99 @@
+"""Tests for train/test splitting utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import one_vs_rest_labels, stratified_kfold, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partitions_are_disjoint_and_cover(self):
+        samples = list(range(20))
+        labels = np.array([0, 1] * 10)
+        train_s, train_y, test_s, test_y = train_test_split(samples, labels, 0.3, seed=1)
+        assert sorted(train_s + test_s) == samples
+        assert len(train_y) == len(train_s) and len(test_y) == len(test_s)
+
+    def test_stratification_keeps_both_classes_in_test(self):
+        samples = list(range(30))
+        labels = np.array([0] * 25 + [1] * 5)
+        _train_s, _train_y, _test_s, test_y = train_test_split(samples, labels, 0.3, seed=0)
+        assert (test_y == 1).any() and (test_y == 0).any()
+
+    def test_test_fraction_roughly_respected(self):
+        samples = list(range(100))
+        labels = np.array([0, 1] * 50)
+        _ts, _ty, test_s, _tey = train_test_split(samples, labels, 0.25, seed=0)
+        assert 20 <= len(test_s) <= 30
+
+    def test_non_stratified_mode(self):
+        samples = list(range(10))
+        labels = np.zeros(10)
+        _ts, _ty, test_s, _tey = train_test_split(samples, labels, 0.2, stratify=False)
+        assert len(test_s) == 2
+
+    def test_deterministic_given_seed(self):
+        samples = list(range(20))
+        labels = np.array([0, 1] * 10)
+        a = train_test_split(samples, labels, 0.3, seed=7)
+        b = train_test_split(samples, labels, 0.3, seed=7)
+        assert a[2] == b[2]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], np.array([0, 1]))
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2], np.array([0, 1]), test_fraction=1.5)
+
+    def test_labels_follow_their_samples(self):
+        samples = [f"s{i}" for i in range(12)]
+        labels = np.array([int(i >= 6) for i in range(12)])
+        train_s, train_y, test_s, test_y = train_test_split(samples, labels, 0.3, seed=2)
+        for sample, label in zip(train_s, train_y):
+            assert label == int(int(sample[1:]) >= 6)
+        for sample, label in zip(test_s, test_y):
+            assert label == int(int(sample[1:]) >= 6)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_all_indices(self):
+        labels = np.array([0, 1] * 15)
+        splits = stratified_kfold(labels, n_splits=3, seed=0)
+        all_test = np.concatenate([test for _train, test in splits])
+        assert sorted(all_test) == list(range(30))
+
+    def test_each_fold_has_both_classes(self):
+        labels = np.array([0] * 20 + [1] * 10)
+        for _train, test in stratified_kfold(labels, n_splits=5):
+            assert (labels[test] == 1).any() and (labels[test] == 0).any()
+
+    def test_train_and_test_disjoint(self):
+        labels = np.array([0, 1, 2] * 8)
+        for train, test in stratified_kfold(labels, n_splits=4):
+            assert set(train).isdisjoint(set(test))
+
+    def test_invalid_split_count_raises(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.array([0, 1]), n_splits=1)
+
+
+class TestOneVsRest:
+    def test_basic(self):
+        labels = one_vs_rest_labels(["a", "b", "a", None], positive="a")
+        np.testing.assert_array_equal(labels, [1, 0, 1, 0])
+
+    def test_no_positives(self):
+        assert one_vs_rest_labels(["b", "c"], positive="a").sum() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(6, 60), st.floats(0.1, 0.5))
+def test_split_sizes_add_up(n, fraction):
+    samples = list(range(n))
+    labels = np.array([i % 2 for i in range(n)])
+    train_s, _ty, test_s, _tey = train_test_split(samples, labels, fraction, seed=0)
+    assert len(train_s) + len(test_s) == n
+    assert len(train_s) > 0 and len(test_s) > 0

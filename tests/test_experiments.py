@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (runners, figure studies, formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DBG4ETH, DBG4ETHConfig, GSGConfig, LDGConfig, CalibrationConfig
+from repro.core.augmentation import AugmentationConfig
+from repro.experiments import (
+    ExperimentConfig,
+    build_experiment_dataset,
+    calibration_weight_table,
+    category_feature_summary,
+    classifier_roc_study,
+    feature_correlation_matrix,
+    format_metrics_row,
+    format_table,
+    run_ablation,
+    run_baseline_comparison,
+    run_category_experiment,
+    run_training_size_sweep,
+    sensitivity_study,
+)
+from repro.experiments.runner import fast_dbg4eth_config
+
+
+def micro_config(**overrides) -> DBG4ETHConfig:
+    """The smallest usable DBG4ETH configuration for harness tests."""
+    config = DBG4ETHConfig(
+        gsg=GSGConfig(hidden_dim=8, epochs=2, contrastive_batch=4),
+        ldg=LDGConfig(hidden_dim=8, epochs=2, num_slices=3, first_pool_clusters=4),
+        calibration=CalibrationConfig(),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def micro_sensitivity_config(edge_drop=None, feature_mask=None, pooling_layers=None):
+    config = micro_config()
+    if edge_drop is not None:
+        config.gsg.view1 = AugmentationConfig(edge_drop, feature_mask or 0.0)
+        config.gsg.view2 = AugmentationConfig(edge_drop, 0.0)
+    if pooling_layers is not None:
+        config.ldg.pooling_layers = pooling_layers
+    return config
+
+
+class TestSetup:
+    def test_experiment_config_scales_ledger(self):
+        config = ExperimentConfig(scale=0.2)
+        ledger_config = config.ledger_config()
+        assert sum(ledger_config.labeled_per_category.values()) < 60
+
+    def test_build_experiment_dataset(self, tmp_path):
+        dataset, ledger = build_experiment_dataset(
+            ExperimentConfig(scale=0.15, top_k=20, max_nodes_per_subgraph=25))
+        assert len(dataset) > 10
+        assert ledger.num_transactions > 0
+
+
+class TestRunners:
+    def test_run_category_experiment_reports_metrics(self, small_dataset):
+        report = run_category_experiment(small_dataset, "exchange",
+                                         lambda: DBG4ETH(micro_config()))
+        assert set(report) == {"precision", "recall", "f1", "accuracy"}
+        assert all(0.0 <= v <= 1.0 for v in report.values())
+
+    def test_fast_config_override(self):
+        config = fast_dbg4eth_config(epochs=2, classifier="mlp")
+        assert config.classifier == "mlp"
+        assert config.gsg.epochs == 2
+
+    def test_run_baseline_comparison_structure(self, small_dataset):
+        baselines = {"GCN": __import__("repro.baselines", fromlist=["GCNClassifier"])
+                     .GCNClassifier(hidden_dim=8, epochs=2)}
+        results = run_baseline_comparison(small_dataset, ["mining"], baselines=baselines,
+                                          include_dbg4eth=True,
+                                          dbg4eth_config=micro_config())
+        assert set(results) == {"GCN", "DBG4ETH"}
+        assert "mining" in results["GCN"]
+        assert set(results["GCN"]["mining"]) == {"precision", "recall", "f1", "accuracy"}
+
+    def test_run_ablation_has_all_variants(self, small_dataset):
+        results = run_ablation(small_dataset, ["defi"], base_config=micro_config)
+        expected = {"w/o GSG", "w/o LDG", "w/o calibration", "w/o Param. calibration",
+                    "w/o Non-param. calibration", "w/o Ada. calibration", "w/o LightGBM",
+                    "DBG4ETH"}
+        assert set(results) == expected
+        assert all("defi" in row for row in results.values())
+
+    def test_run_training_size_sweep(self, small_dataset):
+        results = run_training_size_sweep(small_dataset, "bridge", fractions=(0.3, 0.5),
+                                          config_factory=micro_config)
+        assert set(results) == {0.3, 0.5}
+        assert all(set(v) == {"precision", "recall", "f1", "accuracy"} for v in results.values())
+
+
+class TestFigureStudies:
+    def test_feature_correlation_matrix(self, small_dataset):
+        matrix, names = feature_correlation_matrix(small_dataset)
+        assert matrix.shape == (15, 15)
+        assert len(names) == 15
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+        assert np.all(matrix <= 1.0 + 1e-9) and np.all(matrix >= -1.0 - 1e-9)
+
+    def test_category_feature_summary(self, small_dataset):
+        summary = category_feature_summary(small_dataset)
+        assert set(summary) == set(small_dataset.categories())
+        for row in summary.values():
+            assert set(row) == {"SAF", "RAF", "TFF", "CF"}
+            assert all(0.0 <= v <= 1.0 for v in row.values())
+
+    def test_calibration_weight_table(self, small_dataset):
+        weights = calibration_weight_table(small_dataset, ["mining"], micro_config)
+        assert set(weights) == {"mining"}
+        assert set(weights["mining"]) == {"gsg", "ldg"}
+        assert len(weights["mining"]["gsg"]) == 6
+
+    def test_classifier_roc_study(self, small_dataset):
+        study = classifier_roc_study(small_dataset, "phish/hack", micro_config)
+        assert set(study) == {"lightgbm", "xgboost", "random_forest", "adaboost", "mlp"}
+        for entry in study.values():
+            assert 0.0 <= entry["auc"] <= 1.0
+            assert len(entry["fpr"]) == len(entry["tpr"])
+
+    def test_sensitivity_study(self, small_dataset):
+        study = sensitivity_study(small_dataset, "exchange", micro_sensitivity_config,
+                                  augmentation_probs=(0.1, 0.8), pooling_layers=(1, 2))
+        assert set(study) == {"augmentation", "pooling"}
+        assert set(study["augmentation"]) == {0.1, 0.8}
+        assert set(study["pooling"]) == {1, 2}
+
+
+class TestFormatting:
+    def test_format_metrics_row(self):
+        row = format_metrics_row("GCN", {"f1": 0.5, "accuracy": 0.75})
+        assert "GCN" in row and "50.00" in row and "75.00" in row
+
+    def test_format_table_with_nested_metrics(self):
+        results = {"GCN": {"exchange": {"f1": 0.8}}, "DBG4ETH": {"exchange": {"f1": 0.99}}}
+        table = format_table(results, title="Table III", metric="f1")
+        assert "Table III" in table
+        assert "99.00%" in table and "80.00%" in table
+
+    def test_format_table_with_flat_floats(self):
+        table = format_table({"w/o GSG": {"defi": 0.5}}, metric=None)
+        assert "50.00%" in table
+
+    def test_format_table_handles_missing_cells(self):
+        table = format_table({"A": {"x": 0.1}, "B": {"y": 0.2}})
+        assert "-" in table

@@ -1,0 +1,103 @@
+"""Centrality tests, cross-validated against networkx where applicable."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    TxGraph,
+    degree_centrality,
+    edge_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+
+
+@pytest.fixture()
+def star_graph():
+    """Hub node 0 connected to 4 leaves."""
+    g = TxGraph()
+    for leaf in range(1, 5):
+        g.add_edge(0, leaf, amount=1.0)
+    return g
+
+
+class TestDegreeCentrality:
+    def test_hub_has_highest_score(self, star_graph):
+        scores = degree_centrality(star_graph)
+        assert scores[0] == max(scores.values())
+
+    def test_matches_networkx(self, star_graph):
+        ours = degree_centrality(star_graph)
+        theirs = nx.degree_centrality(star_graph.to_networkx().to_undirected())
+        for node in star_graph.nodes:
+            assert ours[node] == pytest.approx(theirs[node])
+
+    def test_single_node_graph(self):
+        g = TxGraph()
+        g.add_node("only")
+        assert degree_centrality(g) == {"only": 0.0}
+
+    def test_empty_graph(self):
+        assert degree_centrality(TxGraph()) == {}
+
+
+class TestEigenvectorCentrality:
+    def test_hub_dominates(self, star_graph):
+        scores = eigenvector_centrality(star_graph)
+        assert scores[0] == max(scores.values())
+
+    def test_close_to_networkx(self, star_graph):
+        ours = eigenvector_centrality(star_graph)
+        theirs = nx.eigenvector_centrality_numpy(star_graph.to_networkx().to_undirected())
+        ours_vec = np.array([ours[n] for n in star_graph.nodes])
+        theirs_vec = np.array([theirs[n] for n in star_graph.nodes])
+        ours_vec /= np.linalg.norm(ours_vec)
+        theirs_vec /= np.linalg.norm(theirs_vec)
+        np.testing.assert_allclose(ours_vec, np.abs(theirs_vec), atol=1e-3)
+
+    def test_scores_are_nonnegative(self, toy_graph):
+        assert all(v >= 0 for v in eigenvector_centrality(toy_graph).values())
+
+    def test_empty_graph(self):
+        assert eigenvector_centrality(TxGraph()) == {}
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self, toy_graph):
+        scores = pagerank_centrality(toy_graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_close_to_networkx(self, toy_graph):
+        ours = pagerank_centrality(toy_graph)
+        theirs = nx.pagerank(toy_graph.to_networkx(), alpha=0.85)
+        for node in toy_graph.nodes:
+            assert ours[node] == pytest.approx(theirs[node], abs=0.02)
+
+    def test_sink_node_gets_rank(self, star_graph):
+        scores = pagerank_centrality(star_graph)
+        assert all(v > 0 for v in scores.values())
+
+    def test_empty_graph(self):
+        assert pagerank_centrality(TxGraph()) == {}
+
+
+class TestEdgeCentrality:
+    def test_one_score_per_edge(self, toy_graph):
+        scores = edge_centrality(toy_graph)
+        assert len(scores) == toy_graph.num_edges
+
+    def test_is_mean_of_endpoint_scores(self, star_graph):
+        node_scores = degree_centrality(star_graph)
+        edge_scores = edge_centrality(star_graph, measure="degree")
+        for (src, dst), value in edge_scores.items():
+            assert value == pytest.approx(0.5 * (node_scores[src] + node_scores[dst]))
+
+    @pytest.mark.parametrize("measure", ["degree", "eigenvector", "pagerank"])
+    def test_all_measures_supported(self, toy_graph, measure):
+        scores = edge_centrality(toy_graph, measure=measure)
+        assert all(np.isfinite(v) for v in scores.values())
+
+    def test_unknown_measure_raises(self, toy_graph):
+        with pytest.raises(ValueError):
+            edge_centrality(toy_graph, measure="betweenness")

@@ -1,0 +1,148 @@
+"""Tests for the TxGraph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import TxGraph
+
+
+class TestNodes:
+    def test_add_node_is_idempotent(self):
+        g = TxGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_node_attrs_merge(self):
+        g = TxGraph()
+        g.add_node("a", color="red")
+        g.add_node("a", size=3)
+        assert g.node_attr("a", "color") == "red"
+        assert g.node_attr("a", "size") == 3
+
+    def test_node_attr_default(self):
+        g = TxGraph()
+        g.add_node("a")
+        assert g.node_attr("a", "missing", default=7) == 7
+
+    def test_node_index_follows_insertion_order(self):
+        g = TxGraph()
+        for name in ("x", "y", "z"):
+            g.add_node(name)
+        assert [g.node_index(n) for n in ("x", "y", "z")] == [0, 1, 2]
+
+
+class TestEdges:
+    def test_edge_merging_accumulates_amount_and_count(self, toy_graph):
+        edge = toy_graph.get_edge("a", "b")
+        assert edge.amount == pytest.approx(4.0)
+        assert edge.count == 2
+
+    def test_edge_merge_keeps_weighted_mean_timestamp(self, toy_graph):
+        edge = toy_graph.get_edge("a", "b")
+        assert edge.timestamp == pytest.approx(150.0)
+
+    def test_directed_edges_are_distinct(self):
+        g = TxGraph()
+        g.add_edge("a", "b", amount=1.0)
+        g.add_edge("b", "a", amount=2.0)
+        assert g.num_edges == 2
+
+    def test_has_edge(self, toy_graph):
+        assert toy_graph.has_edge("a", "b")
+        assert not toy_graph.has_edge("b", "a")
+
+    def test_out_and_in_edges(self, toy_graph):
+        out_dsts = {e.dst for e in toy_graph.out_edges("a")}
+        in_srcs = {e.src for e in toy_graph.in_edges("a")}
+        assert out_dsts == {"b", "e"}
+        assert in_srcs == {"d"}
+
+    def test_neighbors_union_of_directions(self, toy_graph):
+        assert toy_graph.neighbors("a") == {"b", "d", "e"}
+
+    def test_degree_counts_both_directions(self, toy_graph):
+        assert toy_graph.degree("a") == 3
+
+
+class TestMatrices:
+    def test_adjacency_shape_and_entries(self, toy_graph):
+        adj = toy_graph.adjacency_matrix()
+        assert adj.shape == (5, 5)
+        i, j = toy_graph.node_index("a"), toy_graph.node_index("b")
+        assert adj[i, j] == 1.0
+        assert adj[j, i] == 0.0
+
+    def test_weighted_adjacency_uses_amounts(self, toy_graph):
+        adj = toy_graph.adjacency_matrix(weighted=True)
+        i, j = toy_graph.node_index("a"), toy_graph.node_index("b")
+        assert adj[i, j] == pytest.approx(4.0)
+
+    def test_symmetric_adjacency(self, toy_graph):
+        adj = toy_graph.adjacency_matrix(symmetric=True)
+        np.testing.assert_allclose(adj, adj.T)
+
+    def test_feature_matrix_with_dim_fallback(self):
+        g = TxGraph()
+        g.add_node("a", features=np.arange(3.0))
+        g.add_node("b")
+        feats = g.feature_matrix(dim=3)
+        np.testing.assert_allclose(feats[1], np.zeros(3))
+
+    def test_feature_matrix_missing_raises_without_dim(self):
+        g = TxGraph()
+        g.add_node("a")
+        with pytest.raises(KeyError):
+            g.feature_matrix()
+
+    def test_edge_feature_matrix(self, toy_graph):
+        feats = toy_graph.edge_feature_matrix()
+        assert feats.shape == (toy_graph.num_edges, 2)
+        assert feats[:, 1].min() >= 1.0
+
+
+class TestSubgraph:
+    def test_subgraph_keeps_only_internal_edges(self, toy_graph):
+        sub = toy_graph.subgraph(["a", "b", "c"])
+        assert sub.num_nodes == 3
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "c")
+        assert not sub.has_edge("c", "d")
+
+    def test_subgraph_preserves_attributes(self):
+        g = TxGraph()
+        g.add_node("a", label="exchange")
+        g.add_edge("a", "b", amount=1.0)
+        sub = g.subgraph(["a", "b"])
+        assert sub.node_attr("a", "label") == "exchange"
+
+    def test_copy_is_independent(self, toy_graph):
+        clone = toy_graph.copy()
+        clone.add_edge("z", "a", amount=1.0)
+        assert not toy_graph.has_node("z")
+
+    def test_to_networkx_round_trip_counts(self, toy_graph):
+        nx_graph = toy_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == toy_graph.num_nodes
+        assert nx_graph.number_of_edges() == toy_graph.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=30))
+def test_adjacency_nonzeros_match_edge_count(pairs):
+    g = TxGraph()
+    for src, dst in pairs:
+        g.add_edge(src, dst, amount=1.0)
+    adjacency = g.adjacency_matrix()
+    assert int((adjacency > 0).sum()) == g.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=20))
+def test_subgraph_never_gains_edges(pairs):
+    g = TxGraph()
+    for src, dst in pairs:
+        g.add_edge(src, dst, amount=1.0)
+    sub = g.subgraph(list(g.nodes)[: max(1, g.num_nodes // 2)])
+    assert sub.num_edges <= g.num_edges
+    assert sub.num_nodes <= g.num_nodes

@@ -1,0 +1,168 @@
+"""Tests for classification metrics, ROC/AUC and expected calibration error."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    accuracy,
+    auc_score,
+    classification_report,
+    confusion_matrix,
+    expected_calibration_error,
+    f1_score,
+    precision,
+    recall,
+    roc_curve,
+)
+
+
+class TestClassificationMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        assert accuracy(y, y) == 1.0
+        assert precision(y, y) == 1.0
+        assert recall(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([0, 1, 0, 1])
+        y_pred = 1 - y_true
+        assert accuracy(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_known_binary_case(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        # Positive class: TP=2 FP=1 FN=1 -> P=R=F1=2/3; negative symmetric.
+        assert precision(y_true, y_pred, average="binary") == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred, average="binary") == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred, average="binary") == pytest.approx(2 / 3)
+        assert accuracy(y_true, y_pred) == pytest.approx(4 / 6)
+
+    def test_macro_average_over_three_classes(self):
+        y_true = np.array([0, 1, 2, 0, 1, 2])
+        y_pred = np.array([0, 1, 2, 0, 2, 1])
+        assert precision(y_true, y_pred) == pytest.approx((1.0 + 0.5 + 0.5) / 3)
+
+    def test_zero_division_gives_zero_not_nan(self):
+        y_true = np.array([0, 0, 0])
+        y_pred = np.array([0, 0, 0])
+        assert np.isfinite(f1_score(y_true, y_pred))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_confusion_matrix_entries(self):
+        y_true = [0, 0, 1, 1, 1]
+        y_pred = [0, 1, 1, 1, 0]
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 2 and cm[1, 0] == 1
+        assert cm.sum() == 5
+
+    def test_classification_report_keys(self):
+        report = classification_report([0, 1, 1], [0, 1, 0])
+        assert set(report) == {"precision", "recall", "f1", "accuracy"}
+
+
+class TestROC:
+    def test_perfect_separation_auc_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_is_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert abs(auc_score(y, scores) - 0.5) < 0.05
+
+    def test_curve_starts_at_origin_and_ends_at_one(self):
+        y = np.array([0, 1, 0, 1, 1])
+        fpr, tpr, _thresholds = roc_curve(y, np.array([0.2, 0.6, 0.4, 0.8, 0.3]))
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=50)
+        y[0], y[1] = 0, 1
+        fpr, tpr, _ = roc_curve(y, rng.random(50))
+        assert np.all(np.diff(fpr) >= 0) and np.all(np.diff(tpr) >= 0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.ones(5), np.linspace(0, 1, 5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.5]))
+
+
+class TestECE:
+    def test_perfectly_calibrated_confident_predictions(self):
+        y = np.array([1, 1, 1, 0, 0, 0])
+        probs = np.array([1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+        assert expected_calibration_error(y, probs) == pytest.approx(0.0)
+
+    def test_overconfident_wrong_predictions_have_high_ece(self):
+        y = np.array([0, 0, 0, 0])
+        probs = np.array([0.99, 0.99, 0.99, 0.99])
+        assert expected_calibration_error(y, probs) > 0.9
+
+    def test_ece_is_bounded(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=200)
+        probs = rng.random(200)
+        ece = expected_calibration_error(y, probs)
+        assert 0.0 <= ece <= 1.0
+
+    def test_ece_detects_miscalibration_better_than_calibrated(self):
+        rng = np.random.default_rng(3)
+        probs = rng.random(3000)
+        calibrated_y = (rng.random(3000) < probs).astype(int)
+        miscalibrated_y = (rng.random(3000) < np.clip(probs - 0.3, 0, 1)).astype(int)
+        assert expected_calibration_error(calibrated_y, probs) < \
+            expected_calibration_error(miscalibrated_y, probs)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([], [])
+
+    def test_invalid_bins_raises(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([1], [0.5], num_bins=0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([1, 0], [0.5])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=4, max_size=40))
+def test_accuracy_between_zero_and_one(labels):
+    labels = np.array(labels)
+    predictions = np.roll(labels, 1)
+    assert 0.0 <= accuracy(labels, predictions) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=2, max_size=40).filter(lambda ls: 0 < sum(ls) < len(ls)),
+       st.integers(0, 10_000))
+def test_auc_is_invariant_to_monotone_score_transform(labels, seed):
+    labels = np.array(labels)
+    rng = np.random.default_rng(seed)
+    scores = rng.random(len(labels))
+    original = auc_score(labels, scores)
+    transformed = auc_score(labels, scores * 10 + 3)
+    assert original == pytest.approx(transformed)

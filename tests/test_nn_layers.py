@@ -1,0 +1,142 @@
+"""Tests for layers, the Module container and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Embedding, LayerNorm, Linear, Module, Parameter, Sequential, Tensor
+from repro.nn.functional import relu
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((3, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((3, 2)))
+
+    def test_bias_initialised_to_zero(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        np.testing.assert_allclose(layer.bias.data, np.zeros(2))
+
+    def test_glorot_weights_within_limit(self, rng):
+        layer = Linear(10, 10, rng=rng)
+        limit = np.sqrt(6.0 / 20)
+        assert np.all(np.abs(layer.weight.data) <= limit)
+
+    def test_gradients_reach_parameters(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_deterministic_given_rng_seed(self):
+        a = Linear(4, 4, rng=np.random.default_rng(5))
+        b = Linear(4, 4, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestModule:
+    def test_parameters_found_in_nested_structures(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)]
+                self.extra = {"head": Linear(2, 1, rng=rng)}
+                self.scale = Parameter(np.ones(1))
+
+        net = Net()
+        params = list(net.parameters())
+        # 3 linear layers x (weight + bias) + 1 scale = 7
+        assert len(params) == 7
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 4, rng=rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+        seq.eval()
+        assert not seq.training
+        assert all(not s.training for s in seq.steps)
+        seq.train()
+        assert seq.training
+
+    def test_state_dict_roundtrip(self, rng):
+        layer = Linear(3, 3, rng=rng)
+        state = layer.state_dict()
+        layer.weight.data[...] = 0.0
+        layer.load_state_dict(state)
+        assert not np.allclose(layer.weight.data, 0.0)
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        layer = Linear(3, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.load_state_dict([np.zeros((2, 2)), np.zeros(3)])
+
+    def test_load_state_dict_length_mismatch_raises(self, rng):
+        layer = Linear(3, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.load_state_dict([np.zeros((3, 3))])
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        seq = Sequential(Linear(3, 4, rng=rng), relu, Linear(4, 2, rng=rng))
+        out = seq(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_collects_parameters_from_all_steps(self, rng):
+        seq = Sequential(Linear(3, 4, rng=rng), relu, Linear(4, 2, rng=rng))
+        assert len(list(seq.parameters())) == 4
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(5, 8)) * 10 + 3))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(5), atol=1e-2)
+
+    def test_has_learnable_gain_and_bias(self):
+        layer = LayerNorm(4)
+        assert len(list(layer.parameters())) == 2
+
+    def test_gradient_flows(self, rng):
+        layer = LayerNorm(4)
+        layer(Tensor(rng.normal(size=(2, 4)), requires_grad=True)).sum().backward()
+        assert layer.gamma.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng=rng)
+        out = emb([1, 3, 5])
+        assert out.shape == (3, 6)
+
+    def test_same_id_same_vector(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb([2, 2])
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        emb([0, 0, 1]).sum().backward()
+        # Row 0 was used twice so its gradient is twice row 1's.
+        np.testing.assert_allclose(emb.weight.grad[0], 2 * emb.weight.grad[1])
+        np.testing.assert_allclose(emb.weight.grad[2], np.zeros(3))

@@ -1,0 +1,105 @@
+"""Tests for the loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    binary_cross_entropy,
+    cross_entropy,
+    mse_loss,
+    nt_xent_loss,
+)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = Tensor([[10.0, -10.0], [-10.0, 10.0]])
+        loss = cross_entropy(logits, [0, 1])
+        assert loss.item() < 1e-4
+
+    def test_uniform_prediction_equals_log_num_classes(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, [0, 1, 2, 0])
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_loss_is_nonnegative(self, rng):
+        logits = Tensor(rng.normal(size=(6, 4)))
+        assert cross_entropy(logits, rng.integers(0, 4, size=6)).item() >= 0.0
+
+    def test_gradient_shape(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        cross_entropy(logits, [0, 1, 2, 1, 0]).backward()
+        assert logits.grad.shape == (5, 3)
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 0.5]]), requires_grad=True)
+        cross_entropy(logits, [1]).backward()
+        exp = np.exp(logits.data - logits.data.max())
+        probs = exp / exp.sum()
+        expected = probs.copy()
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_probabilities(self):
+        loss = binary_cross_entropy(Tensor([0.9999, 0.0001]), [1, 0])
+        assert loss.item() < 1e-3
+
+    def test_half_probability(self):
+        loss = binary_cross_entropy(Tensor([0.5, 0.5]), [1, 0])
+        assert loss.item() == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_clipping_prevents_infinite_loss(self):
+        loss = binary_cross_entropy(Tensor([0.0, 1.0]), [1, 0])
+        assert np.isfinite(loss.item())
+
+    def test_gradient_direction(self):
+        probs = Tensor([0.3], requires_grad=True)
+        binary_cross_entropy(probs, [1]).backward()
+        # Increasing the probability of a positive sample must reduce the loss.
+        assert probs.grad[0] < 0.0
+
+
+class TestMSE:
+    def test_zero_for_identical_inputs(self, rng):
+        x = rng.normal(size=(4, 2))
+        assert mse_loss(Tensor(x), x).item() == pytest.approx(0.0)
+
+    def test_known_value(self):
+        assert mse_loss(Tensor([1.0, 3.0]), [0.0, 0.0]).item() == pytest.approx(5.0)
+
+    def test_gradient(self):
+        pred = Tensor([2.0], requires_grad=True)
+        mse_loss(pred, [0.0]).backward()
+        np.testing.assert_allclose(pred.grad, [4.0])
+
+
+class TestNTXent:
+    def test_identical_views_give_lower_loss_than_random(self, rng):
+        z = rng.normal(size=(6, 8))
+        loss_same = nt_xent_loss(Tensor(z), Tensor(z)).item()
+        loss_random = nt_xent_loss(Tensor(z), Tensor(rng.normal(size=(6, 8)))).item()
+        assert loss_same < loss_random
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            nt_xent_loss(Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(4, 4))))
+
+    def test_loss_is_finite_and_positive(self, rng):
+        loss = nt_xent_loss(Tensor(rng.normal(size=(5, 16))),
+                            Tensor(rng.normal(size=(5, 16))))
+        assert np.isfinite(loss.item()) and loss.item() > 0.0
+
+    def test_temperature_changes_loss(self, rng):
+        z1, z2 = rng.normal(size=(4, 8)), rng.normal(size=(4, 8))
+        loss_a = nt_xent_loss(Tensor(z1), Tensor(z2), temperature=0.1).item()
+        loss_b = nt_xent_loss(Tensor(z1), Tensor(z2), temperature=1.0).item()
+        assert loss_a != pytest.approx(loss_b)
+
+    def test_gradient_flows_to_both_views(self, rng):
+        z1 = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        z2 = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        nt_xent_loss(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None

@@ -1,0 +1,102 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, SGD, Tensor, mse_loss
+from repro.nn.layers import Parameter
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ``sum((x - 3)^2)`` with minimum at 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain, momentum = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                opt.zero_grad()
+                quadratic_loss(param).backward()
+                opt.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.full(3, 5.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 5.0)
+
+    def test_skips_parameters_without_gradients(self):
+        used, unused = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = SGD([used, unused], lr=0.1)
+        quadratic_loss(used).backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, np.ones(2))
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_trains_a_linear_regression(self, rng):
+        true_w = np.array([[2.0], [-1.0], [0.5]])
+        X = rng.normal(size=(64, 3))
+        y = X @ true_w
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = mse_loss(layer(Tensor(X)), y)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.zeros(2))
+        optimizer = Adam([param], lr=0.1)
+        quadratic_loss(param).backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_step_counter_advances(self):
+        param = Parameter(np.zeros(2))
+        optimizer = Adam([param], lr=0.1)
+        quadratic_loss(param).backward()
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._step == 2
+
+    def test_weight_decay_changes_update(self):
+        a, b = Parameter(np.full(2, 2.0)), Parameter(np.full(2, 2.0))
+        opt_a = Adam([a], lr=0.1)
+        opt_b = Adam([b], lr=0.1, weight_decay=1.0)
+        for param, opt in ((a, opt_a), (b, opt_b)):
+            quadratic_loss(param).backward()
+            opt.step()
+        assert not np.allclose(a.data, b.data)
