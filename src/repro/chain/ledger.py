@@ -26,7 +26,11 @@ class Ledger:
         self._accounts: dict[str, Account] = {}
         self._blocks: list[Block] = []
         self._tx_index: dict[str, Transaction] = {}
+        # Per-address transaction index: every registered transaction is
+        # appended under both its sender and its receiver (twice for a
+        # self-transfer), in block order, making transactions_for O(deg).
         self._address_txs: dict[str, list[Transaction]] = {}
+        self._num_transactions = 0
         self.labels = LabelCloud()
 
     # --------------------------------------------------------------- accounts
@@ -66,6 +70,7 @@ class Ledger:
         self._tx_index[tx.tx_hash] = tx
         self._address_txs.setdefault(tx.sender, []).append(tx)
         self._address_txs.setdefault(tx.receiver, []).append(tx)
+        self._num_transactions += 1
 
     @property
     def blocks(self) -> list[Block]:
@@ -85,7 +90,12 @@ class Ledger:
 
     @property
     def num_transactions(self) -> int:
-        return sum(block.num_transactions for block in self._blocks)
+        """Total registered transactions, maintained incrementally (O(1)).
+
+        Serves as part of the feature extractor's cache-invalidation key, so
+        it must stay cheap no matter how many blocks the ledger holds.
+        """
+        return self._num_transactions
 
     def get_transaction(self, tx_hash: str) -> Transaction:
         return self._tx_index[tx_hash]

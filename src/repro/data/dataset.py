@@ -165,7 +165,6 @@ class SubgraphDatasetBuilder:
         self.ledger = ledger
         self.config = config or DatasetConfig()
         self._extractor = DeepFeatureExtractor(ledger)
-        self._feature_cache: dict[str, np.ndarray] = {}
 
     def build(self) -> SubgraphDataset:
         cfg = self.config
@@ -191,7 +190,9 @@ class SubgraphDatasetBuilder:
         sub = ego_subgraph(graph, address, hops=cfg.hops, k=cfg.top_k)
         if sub.num_nodes > cfg.max_nodes_per_subgraph:
             sub = self._truncate(sub, address, cfg.max_nodes_per_subgraph)
-        features = np.vstack([self._features_for(node) for node in sub.nodes])
+        # One batched extraction per subgraph instead of a per-node loop: the
+        # extractor serves all rows from its single-pass feature table.
+        features = self._extractor.extract_many(sub.nodes)
         return AccountSubgraph(
             center=address,
             category=category,
@@ -206,8 +207,3 @@ class SubgraphDatasetBuilder:
                         key=lambda n: -sub.degree(n))
         keep = [center] + ranked[:max_nodes - 1]
         return sub.subgraph(keep)
-
-    def _features_for(self, address: str) -> np.ndarray:
-        if address not in self._feature_cache:
-            self._feature_cache[address] = self._extractor.extract(address)
-        return self._feature_cache[address]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chain.ledger import Ledger
-from repro.chain.transactions import Transaction
+from repro.chain.transactions import GWEI_PER_ETH, Transaction
 
 __all__ = [
     "FEATURE_NAMES",
@@ -51,6 +51,38 @@ def _interval_stats(timestamps: list[float]) -> tuple[float, float]:
     return (float(gaps.min()), float(gaps.max()))
 
 
+def _group_interval_stats(accounts_sorted: np.ndarray, ts_sorted: np.ndarray,
+                          num_accounts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-account (min, max) gap between consecutive sorted timestamps.
+
+    ``accounts_sorted``/``ts_sorted`` are parallel arrays sorted by
+    ``(account, timestamp)``.  Accounts with fewer than two events get zeros,
+    mirroring :func:`_interval_stats`.
+    """
+    mins = np.zeros(num_accounts)
+    maxs = np.zeros(num_accounts)
+    n = len(ts_sorted)
+    if n < 2:
+        return mins, maxs
+    boundaries = np.flatnonzero(np.diff(accounts_sorted))
+    group_starts = np.concatenate([[0], boundaries + 1])
+    group_accounts = accounts_sorted[group_starts]
+    group_sizes = np.diff(np.append(group_starts, n))
+    gaps = ts_sorted[1:] - ts_sorted[:-1]
+    # Cross-account gaps (and a trailing sentinel, so every group start is a
+    # valid reduceat index) are neutralised with +/-inf for the min/max passes.
+    gaps_min = np.append(gaps, np.inf)
+    gaps_max = np.append(gaps, -np.inf)
+    gaps_min[boundaries] = np.inf
+    gaps_max[boundaries] = -np.inf
+    group_min = np.minimum.reduceat(gaps_min, group_starts)
+    group_max = np.maximum.reduceat(gaps_max, group_starts)
+    valid = group_sizes >= 2
+    mins[group_accounts[valid]] = group_min[valid]
+    maxs[group_accounts[valid]] = group_max[valid]
+    return mins, maxs
+
+
 class DeepFeatureExtractor:
     """Compute the 15-dimensional deep feature vector for an account.
 
@@ -61,6 +93,9 @@ class DeepFeatureExtractor:
 
     def __init__(self, ledger: Ledger):
         self.ledger = ledger
+        self._table_key: tuple[int, int] | None = None
+        self._table_features: np.ndarray | None = None
+        self._table_ids: dict[str, int] = {}
 
     def extract(self, address: str, transactions: list[Transaction] | None = None) -> np.ndarray:
         """Return the feature vector (length 15) for ``address``.
@@ -78,39 +113,141 @@ class DeepFeatureExtractor:
             transactions = self.ledger.transactions_for(address)
         sent = [tx for tx in transactions if tx.sender == address]
         received = [tx for tx in transactions if tx.receiver == address]
-
-        sent_values = np.array([tx.value for tx in sent]) if sent else np.zeros(0)
-        recv_values = np.array([tx.value for tx in received]) if received else np.zeros(0)
-
-        nts = float(len(sent))
-        stv = float(sent_values.sum())
-        sav = float(sent_values.mean()) if len(sent_values) else 0.0
-        min_sti, max_sti = _interval_stats([tx.timestamp for tx in sent])
-
-        ntr = float(len(received))
-        rtv = float(recv_values.sum())
-        rav = float(recv_values.mean()) if len(recv_values) else 0.0
-        min_rti, max_rti = _interval_stats([tx.timestamp for tx in received])
-
-        setf = float(sum(tx.fee_eth for tx in sent))
-        retf = float(sum(tx.fee_eth for tx in received))
-        saetf = setf / nts if nts else 0.0
-        raetf = retf / ntr if ntr else 0.0
-
-        nc = float(sum(1 for tx in transactions if tx.is_contract_call))
-
-        return np.array([
-            nts, stv, sav, min_sti, max_sti,
-            ntr, rtv, rav, min_rti, max_rti,
-            setf, retf, saetf, raetf,
-            nc,
-        ])
+        nc = sum(1 for tx in transactions if tx.is_contract_call)
+        return _feature_vector(sent, received, nc)
 
     def extract_many(self, addresses: list[str]) -> np.ndarray:
-        """Stack feature vectors for a list of addresses into an ``(n, 15)`` matrix."""
+        """Stack feature vectors for a list of addresses into an ``(n, 15)`` matrix.
+
+        Single vectorized pass over the ledger (O(T + n·15)): the transaction
+        stream is flattened into parallel value / timestamp / fee / account-id
+        arrays once, and every per-account statistic is computed with grouped
+        reductions (``bincount`` for the sequential sums, sorted ``reduceat``
+        for the interval stats) instead of filtering per-address transaction
+        lists once per account.  The result is bit-identical to stacking
+        per-address :meth:`extract` calls — including the double-counting of
+        self-transfers that :meth:`Ledger.transactions_for` exhibits, because a
+        self-transfer registers under both roles of the same address.
+        """
         if not addresses:
             return np.zeros((0, len(FEATURE_NAMES)))
-        return np.vstack([self.extract(address) for address in addresses])
+        features, account_ids = self._global_features()
+        rows = np.zeros((len(addresses), len(FEATURE_NAMES)))
+        for i, address in enumerate(addresses):
+            idx = account_ids.get(address)
+            if idx is not None:
+                rows[i] = features[idx]
+        return rows
+
+    def _global_features(self) -> tuple[np.ndarray, dict[str, int]]:
+        """The full per-account feature table, rebuilt when the ledger grows.
+
+        Returns ``(features, account_ids)`` where ``features[account_ids[a]]``
+        is the Table I vector of address ``a``; addresses with no submitted
+        transactions are absent (their vector is all zeros).
+        """
+        key = (self.ledger.num_transactions, self.ledger.num_accounts)
+        if key == self._table_key and self._table_features is not None:
+            return self._table_features, self._table_ids
+        txs = list(self.ledger.transactions())
+        account_ids: dict[str, int] = {}
+        sender_ids = np.empty(len(txs), dtype=np.int64)
+        receiver_ids = np.empty(len(txs), dtype=np.int64)
+        next_id = 0
+        for i, tx in enumerate(txs):
+            idx = account_ids.get(tx.sender)
+            if idx is None:
+                idx = account_ids[tx.sender] = next_id
+                next_id += 1
+            sender_ids[i] = idx
+            idx = account_ids.get(tx.receiver)
+            if idx is None:
+                idx = account_ids[tx.receiver] = next_id
+                next_id += 1
+            receiver_ids[i] = idx
+        n_accounts = next_id
+        features = np.zeros((n_accounts, len(FEATURE_NAMES)))
+        if txs:
+            values = np.array([tx.value for tx in txs])
+            timestamps = np.array([tx.timestamp for tx in txs])
+            gas_price = np.array([tx.gas_price for tx in txs])
+            gas_used = np.array([tx.gas_used for tx in txs], dtype=np.float64)
+            fees = gas_price * gas_used / GWEI_PER_ETH
+            is_call = np.array([tx.is_contract_call for tx in txs], dtype=np.float64)
+
+            # NC counts each appearance in the combined per-address transaction
+            # list: one per role, so a self-transfer contributes exactly twice.
+            features[:, 14] = (np.bincount(sender_ids, weights=is_call, minlength=n_accounts)
+                               + np.bincount(receiver_ids, weights=is_call, minlength=n_accounts))
+
+            # A self-transfer appears twice in ``transactions_for`` (it registers
+            # under both roles), so extract() sees it twice per role; np.repeat
+            # duplicates those events in place, preserving block order.
+            self_mask = sender_ids == receiver_ids
+            if self_mask.any():
+                repeats = np.where(self_mask, 2, 1)
+                values = np.repeat(values, repeats)
+                timestamps = np.repeat(timestamps, repeats)
+                fees = np.repeat(fees, repeats)
+                sender_ids = np.repeat(sender_ids, repeats)
+                receiver_ids = np.repeat(receiver_ids, repeats)
+
+            for offset, ids in ((0, sender_ids), (5, receiver_ids)):
+                counts = np.bincount(ids, minlength=n_accounts).astype(np.float64)
+                totals = np.bincount(ids, weights=values, minlength=n_accounts)
+                fee_totals = np.bincount(ids, weights=fees, minlength=n_accounts)
+                active = counts > 0
+                means = np.zeros(n_accounts)
+                means[active] = totals[active] / counts[active]
+                fee_means = np.zeros(n_accounts)
+                fee_means[active] = fee_totals[active] / counts[active]
+                order = np.lexsort((timestamps, ids))
+                min_gap, max_gap = _group_interval_stats(
+                    ids[order], timestamps[order], n_accounts)
+                features[:, offset + 0] = counts
+                features[:, offset + 1] = totals
+                features[:, offset + 2] = means
+                features[:, offset + 3] = min_gap
+                features[:, offset + 4] = max_gap
+                features[:, 10 + offset // 5] = fee_totals
+                features[:, 12 + offset // 5] = fee_means
+        self._table_key = key
+        self._table_features = features
+        self._table_ids = account_ids
+        return features, account_ids
+
+
+def _feature_vector(sent: list[Transaction], received: list[Transaction],
+                    num_contract_calls: int) -> np.ndarray:
+    """The Table I vector from pre-split sent/received transaction lists.
+
+    Sums are sequential left-folds (plain :func:`sum`) so the scalar path is
+    bit-identical to the grouped ``np.bincount`` accumulation that
+    :meth:`DeepFeatureExtractor.extract_many` uses.
+    """
+    nts = float(len(sent))
+    stv = float(sum(tx.value for tx in sent))
+    sav = stv / nts if nts else 0.0
+    min_sti, max_sti = _interval_stats([tx.timestamp for tx in sent])
+
+    ntr = float(len(received))
+    rtv = float(sum(tx.value for tx in received))
+    rav = rtv / ntr if ntr else 0.0
+    min_rti, max_rti = _interval_stats([tx.timestamp for tx in received])
+
+    setf = float(sum(tx.fee_eth for tx in sent))
+    retf = float(sum(tx.fee_eth for tx in received))
+    saetf = setf / nts if nts else 0.0
+    raetf = retf / ntr if ntr else 0.0
+
+    nc = float(num_contract_calls)
+
+    return np.array([
+        nts, stv, sav, min_sti, max_sti,
+        ntr, rtv, rav, min_rti, max_rti,
+        setf, retf, saetf, raetf,
+        nc,
+    ])
 
 
 def _normalize_columns(matrix: np.ndarray) -> np.ndarray:

@@ -11,22 +11,46 @@ from repro.graph.txgraph import TxGraph
 __all__ = ["random_walks", "node2vec_walks", "trans2vec_walks"]
 
 
-def _neighbor_map(graph: TxGraph) -> dict[Hashable, list[Hashable]]:
-    return {node: sorted(graph.neighbors(node), key=str) for node in graph.nodes}
+class _NeighborCache:
+    """Lazily sorted neighbour lists backed by the graph's adjacency index.
+
+    Replaces the old eager full-graph ``_neighbor_map`` rebuild: each node's
+    neighbour list is materialised on first visit (O(deg log deg)), so a walk
+    that never reaches a node never pays for it.
+    """
+
+    def __init__(self, graph: TxGraph):
+        self._graph = graph
+        self._lists: dict[Hashable, list[Hashable]] = {}
+        self._sets: dict[Hashable, set[Hashable]] = {}
+
+    def options(self, node: Hashable) -> list[Hashable]:
+        options = self._lists.get(node)
+        if options is None:
+            options = sorted(self._graph.neighbors(node), key=str)
+            self._lists[node] = options
+        return options
+
+    def members(self, node: Hashable) -> set[Hashable]:
+        members = self._sets.get(node)
+        if members is None:
+            members = set(self.options(node))
+            self._sets[node] = members
+        return members
 
 
 def random_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 10,
                  seed: int = 0) -> list[list[Hashable]]:
     """Uniform random walks (DeepWalk-style)."""
     rng = np.random.default_rng(seed)
-    neighbors = _neighbor_map(graph)
+    neighbors = _NeighborCache(graph)
     walks = []
     for _ in range(walks_per_node):
         for start in graph.nodes:
             walk = [start]
             current = start
             for _step in range(walk_length - 1):
-                options = neighbors[current]
+                options = neighbors.options(current)
                 if not options:
                     break
                 current = options[int(rng.integers(0, len(options)))]
@@ -43,15 +67,14 @@ def node2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 
     interpolates between BFS-like (q > 1) and DFS-like (q < 1) exploration.
     """
     rng = np.random.default_rng(seed)
-    neighbors = _neighbor_map(graph)
-    neighbor_sets = {node: set(nbrs) for node, nbrs in neighbors.items()}
+    neighbors = _NeighborCache(graph)
     walks = []
     for _ in range(walks_per_node):
         for start in graph.nodes:
             walk = [start]
             for _step in range(walk_length - 1):
                 current = walk[-1]
-                options = neighbors[current]
+                options = neighbors.options(current)
                 if not options:
                     break
                 if len(walk) == 1:
@@ -59,7 +82,7 @@ def node2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int = 
                 else:
                     previous = walk[-2]
                     weights = np.empty(len(options))
-                    prev_nbrs = neighbor_sets[previous]
+                    prev_nbrs = neighbors.members(previous)
                     for i, candidate in enumerate(options):
                         if candidate == previous:
                             weights[i] = 1.0 / p
@@ -85,12 +108,17 @@ def trans2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int =
     if not 0.0 <= amount_bias <= 1.0:
         raise ValueError("amount_bias must be in [0, 1]")
     rng = np.random.default_rng(seed)
-    # Pre-compute, for each node, its neighbours with (amount, timestamp) weights.
-    weights_map: dict[Hashable, tuple[list[Hashable], np.ndarray]] = {}
+    # Per-node (amount, timestamp) transition weights, materialised lazily from
+    # the adjacency index on first visit instead of for the whole graph upfront.
     timestamps = [edge.timestamp for edge in graph.edges] or [0.0]
     t_min, t_max = min(timestamps), max(timestamps)
     t_span = (t_max - t_min) or 1.0
-    for node in graph.nodes:
+    weights_map: dict[Hashable, tuple[list[Hashable], np.ndarray]] = {}
+
+    def transition(node: Hashable) -> tuple[list[Hashable], np.ndarray]:
+        cached = weights_map.get(node)
+        if cached is not None:
+            return cached
         nbr_weights: dict[Hashable, float] = {}
         for edge in list(graph.out_edges(node)) + list(graph.in_edges(node)):
             other = edge.dst if edge.src == node else edge.src
@@ -103,16 +131,19 @@ def trans2vec_walks(graph: TxGraph, walk_length: int = 30, walks_per_node: int =
             options = sorted(nbr_weights, key=str)
             raw = np.array([nbr_weights[o] for o in options], dtype=float)
             raw = raw + 1e-12
-            weights_map[node] = (options, raw / raw.sum())
+            cached = (options, raw / raw.sum())
         else:
-            weights_map[node] = ([], np.zeros(0))
+            cached = ([], np.zeros(0))
+        weights_map[node] = cached
+        return cached
+
     walks = []
     for _ in range(walks_per_node):
         for start in graph.nodes:
             walk = [start]
             current = start
             for _step in range(walk_length - 1):
-                options, probs = weights_map[current]
+                options, probs = transition(current)
                 if not options:
                     break
                 current = options[int(rng.choice(len(options), p=probs))]

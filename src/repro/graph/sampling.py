@@ -16,13 +16,14 @@ def top_k_neighbors(graph: TxGraph, node: Hashable, k: int) -> list[Hashable]:
     (Section III-B1), then by node identifier for determinism.
     """
     scores: dict[Hashable, tuple[float, float]] = {}
-    for edge in list(graph.out_edges(node)) + list(graph.in_edges(node)):
-        other = edge.dst if edge.src == node else edge.src
+    for other in graph.neighbors(node):
         if other == node:
             continue
-        avg_value = edge.amount / max(edge.count, 1)
-        total_prev, avg_prev = scores.get(other, (0.0, 0.0))
-        scores[other] = (total_prev + edge.amount, max(avg_prev, avg_value))
+        total, best_avg = 0.0, 0.0
+        for edge in graph.edges_between(node, other):
+            total += edge.amount
+            best_avg = max(best_avg, edge.amount / max(edge.count, 1))
+        scores[other] = (total, best_avg)
     ranked = sorted(scores.items(), key=lambda item: (-item[1][1], -item[1][0], str(item[0])))
     return [node_id for node_id, _score in ranked[:k]]
 
@@ -35,14 +36,21 @@ def ego_subgraph(graph: TxGraph, center: Hashable, hops: int = 2, k: int = 2000)
     value) to the next frontier, and the union of all sampled nodes induces the
     returned subgraph.
     """
-    if not graph.has_node(center):
+    if center not in graph:
         raise KeyError(f"center node {center!r} is not in the graph")
     selected: set[Hashable] = {center}
     frontier: set[Hashable] = {center}
     for _hop in range(hops):
         next_frontier: set[Hashable] = set()
         for node in frontier:
-            for neighbor in top_k_neighbors(graph, node, k):
+            # With at most k incident edges every neighbour ranks in the top-k,
+            # so the scoring/sorting pass can be skipped outright; the centre
+            # itself (a self-loop "neighbour") is already in ``selected``.
+            if graph.degree(node) <= k:
+                candidates = graph.neighbors(node)
+            else:
+                candidates = top_k_neighbors(graph, node, k)
+            for neighbor in candidates:
                 if neighbor not in selected:
                     next_frontier.add(neighbor)
         selected |= next_frontier

@@ -1,8 +1,15 @@
-"""Directed weighted graph container for account-interaction graphs."""
+"""Directed weighted graph container for account-interaction graphs.
+
+``TxGraph`` maintains per-node out/in adjacency indexes incrementally in
+:meth:`TxGraph.add_edge`, so the traversal primitives the rest of the system is
+built on (``neighbors``, ``degree``, ``out_edges``, ``in_edges``, ``subgraph``)
+cost O(deg) instead of a full O(E) edge scan.  See ``DESIGN.md`` for the index
+invariants.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator
 
 import numpy as np
@@ -39,7 +46,11 @@ class TxGraph:
 
     Nodes are stored in insertion order so that the adjacency / feature matrices
     returned by :meth:`adjacency_matrix` and :meth:`feature_matrix` have stable
-    row ordering.
+    row ordering.  Edges are additionally indexed per node: ``_out[u]`` maps
+    each successor ``v`` to the merged ``Edge(u, v)`` and ``_in[v]`` maps each
+    predecessor ``u`` to the same object, both in first-insertion order.  Every
+    edge key also records its global insertion sequence so subgraphs can
+    reproduce the parent graph's edge ordering exactly.
     """
 
     def __init__(self):
@@ -47,6 +58,9 @@ class TxGraph:
         self._node_order: list[Hashable] = []
         self._edges: dict[tuple[Hashable, Hashable], Edge] = {}
         self._node_attrs: dict[Hashable, dict] = {}
+        self._out: dict[Hashable, dict[Hashable, Edge]] = {}
+        self._in: dict[Hashable, dict[Hashable, Edge]] = {}
+        self._edge_seq: dict[tuple[Hashable, Hashable], int] = {}
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: Hashable, **attrs) -> None:
@@ -55,10 +69,15 @@ class TxGraph:
             self._nodes[node] = len(self._node_order)
             self._node_order.append(node)
             self._node_attrs[node] = {}
+            self._out[node] = {}
+            self._in[node] = {}
         if attrs:
             self._node_attrs[node].update(attrs)
 
     def has_node(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def __contains__(self, node: Hashable) -> bool:
         return node in self._nodes
 
     def node_index(self, node: Hashable) -> int:
@@ -85,24 +104,53 @@ class TxGraph:
 
         Merging follows Section III-B3 of the paper: repeated transfers between
         the same ordered pair collapse into a single edge carrying the total
-        amount and the number of transactions.
+        amount and the number of transactions.  The timestamp of the merged edge
+        is the count-weighted mean; edges whose merged count is zero (possible
+        when callers pass ``count=0`` placeholders) keep the existing
+        edge's timestamp instead of dividing by zero.
         """
         self.add_node(src)
         self.add_node(dst)
         key = (src, dst)
         existing = self._edges.get(key)
         if existing is None:
-            self._edges[key] = Edge(src, dst, amount, count, timestamp)
+            edge = Edge(src, dst, amount, count, timestamp)
         else:
             total = existing.count + count
-            mean_ts = (existing.timestamp * existing.count + timestamp * count) / total
-            self._edges[key] = Edge(src, dst, existing.amount + amount, total, mean_ts)
+            if total > 0:
+                mean_ts = (existing.timestamp * existing.count + timestamp * count) / total
+            else:
+                mean_ts = existing.timestamp
+            edge = Edge(src, dst, existing.amount + amount, total, mean_ts)
+        # Re-assigning an existing key keeps its position in all three dicts,
+        # so edge iteration order is stable under merges.
+        if existing is None:
+            self._edge_seq[key] = len(self._edges)
+        self._edges[key] = edge
+        self._out[src][dst] = edge
+        self._in[dst][src] = edge
 
     def has_edge(self, src: Hashable, dst: Hashable) -> bool:
         return (src, dst) in self._edges
 
     def get_edge(self, src: Hashable, dst: Hashable) -> Edge:
         return self._edges[(src, dst)]
+
+    def edges_between(self, u: Hashable, v: Hashable) -> list[Edge]:
+        """Merged edges connecting ``u`` and ``v`` in either direction.
+
+        Returns ``[Edge(u, v)]``, ``[Edge(v, u)]``, both (forward first) or an
+        empty list; for a self pair (``u == v``) at most the single loop edge.
+        """
+        edges = []
+        forward = self._edges.get((u, v))
+        if forward is not None:
+            edges.append(forward)
+        if u != v:
+            backward = self._edges.get((v, u))
+            if backward is not None:
+                edges.append(backward)
+        return edges
 
     @property
     def edges(self) -> list[Edge]:
@@ -113,25 +161,44 @@ class TxGraph:
         return len(self._edges)
 
     def out_edges(self, node: Hashable) -> Iterator[Edge]:
-        for (src, _dst), edge in self._edges.items():
-            if src == node:
-                yield edge
+        yield from self._out.get(node, {}).values()
 
     def in_edges(self, node: Hashable) -> Iterator[Edge]:
-        for (_src, dst), edge in self._edges.items():
-            if dst == node:
-                yield edge
+        yield from self._in.get(node, {}).values()
+
+    def out_degree(self, node: Hashable) -> int:
+        return len(self._out.get(node, ()))
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._in.get(node, ()))
 
     def neighbors(self, node: Hashable) -> set[Hashable]:
         """Return successors and predecessors of ``node`` (undirected neighbourhood)."""
-        out_nbrs = {dst for (src, dst) in self._edges if src == node}
-        in_nbrs = {src for (src, dst) in self._edges if dst == node}
-        return out_nbrs | in_nbrs
+        return set(self._out.get(node, ())) | set(self._in.get(node, ()))
 
     def degree(self, node: Hashable) -> int:
-        return sum(1 for (src, dst) in self._edges if src == node or dst == node)
+        """Number of distinct directed edges incident to ``node`` (a self-loop counts once)."""
+        out_nbrs = self._out.get(node)
+        in_nbrs = self._in.get(node)
+        if out_nbrs is None and in_nbrs is None:
+            return 0
+        loop = 1 if out_nbrs and node in out_nbrs else 0
+        return len(out_nbrs or ()) + len(in_nbrs or ()) - loop
 
     # ----------------------------------------------------------------- matrices
+    def _edge_index_arrays(self, weighted: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, values) over merged edges in insertion order."""
+        m = len(self._edges)
+        rows = np.empty(m, dtype=np.int64)
+        cols = np.empty(m, dtype=np.int64)
+        vals = np.empty(m, dtype=np.float64)
+        nodes = self._nodes
+        for i, ((src, dst), edge) in enumerate(self._edges.items()):
+            rows[i] = nodes[src]
+            cols[i] = nodes[dst]
+            vals[i] = edge.amount if weighted else 1.0
+        return rows, cols, vals
+
     def adjacency_matrix(self, weighted: bool = False, symmetric: bool = False) -> np.ndarray:
         """Dense adjacency matrix in node-insertion order.
 
@@ -144,12 +211,42 @@ class TxGraph:
         """
         n = self.num_nodes
         adj = np.zeros((n, n), dtype=np.float64)
-        for (src, dst), edge in self._edges.items():
-            value = edge.amount if weighted else 1.0
-            adj[self._nodes[src], self._nodes[dst]] = value
+        if self._edges:
+            rows, cols, vals = self._edge_index_arrays(weighted)
+            adj[rows, cols] = vals
         if symmetric:
             adj = np.maximum(adj, adj.T)
         return adj
+
+    def to_csr(self, weighted: bool = False, symmetric: bool = False,
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse CSR adjacency ``(indptr, indices, data)`` in node-insertion order.
+
+        The arrays satisfy the standard CSR contract: row ``i``'s non-zero
+        columns are ``indices[indptr[i]:indptr[i + 1]]`` (sorted ascending) with
+        values ``data[indptr[i]:indptr[i + 1]]``.  ``symmetric=True`` mirrors
+        :meth:`adjacency_matrix`: the ``max(A, A.T)`` undirected view.
+        """
+        n = self.num_nodes
+        if not self._edges:
+            return (np.zeros(n + 1, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.float64))
+        rows, cols, vals = self._edge_index_arrays(weighted)
+        if symmetric:
+            rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+            vals = np.concatenate([vals, vals])
+        # Sort by (row, col) and collapse duplicate slots (reciprocal edges in
+        # the symmetric view) with max, matching max(A, A.T).
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        keys = rows * n + cols
+        starts = np.flatnonzero(np.diff(keys, prepend=keys[0] - 1))
+        rows, cols = rows[starts], cols[starts]
+        vals = np.maximum.reduceat(vals, starts)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        return indptr, cols, vals
 
     def feature_matrix(self, key: str = "features", dim: int | None = None) -> np.ndarray:
         """Stack per-node feature vectors stored under attribute ``key``."""
@@ -173,15 +270,43 @@ class TxGraph:
 
     # --------------------------------------------------------------- subgraphs
     def subgraph(self, nodes: Iterable[Hashable]) -> "TxGraph":
-        """Induced subgraph on ``nodes``, preserving node attributes and edges."""
-        keep = set(nodes)
+        """Induced subgraph on ``nodes``, preserving node attributes and edges.
+
+        Node and edge insertion order follow the parent graph, so matrices built
+        from the subgraph are reproducible regardless of the order of ``nodes``.
+        """
+        keep = {node for node in nodes if node in self._nodes}
         sub = TxGraph()
-        for node in self._node_order:
-            if node in keep:
-                sub.add_node(node, **self._node_attrs[node])
-        for (src, dst), edge in self._edges.items():
-            if src in keep and dst in keep:
-                sub.add_edge(src, dst, edge.amount, edge.count, edge.timestamp)
+        node_index = self._nodes
+        for i, node in enumerate(sorted(keep, key=node_index.__getitem__)):
+            sub._nodes[node] = i
+            sub._node_order.append(node)
+            sub._node_attrs[node] = dict(self._node_attrs[node])
+            sub._out[node] = {}
+            sub._in[node] = {}
+        if len(keep) * 4 < len(self._node_order):
+            # Gather incident edges from the per-node index: O(sum deg), then
+            # restore global insertion order via the per-edge sequence number.
+            keys = [(src, dst) for src in keep for dst in self._out[src] if dst in keep]
+            keys.sort(key=self._edge_seq.__getitem__)
+            kept_edges = [(key, self._edges[key]) for key in keys]
+        else:
+            # Dense selection: a single ordered pass over the edge dict.
+            kept_edges = [(key, edge) for key, edge in self._edges.items()
+                          if key[0] in keep and key[1] in keep]
+        # Bulk-insert: kept edges are already merged and Edge is frozen, so the
+        # instances can be shared with the parent instead of re-merged through
+        # add_edge.
+        sub_edges = sub._edges
+        sub_seq = sub._edge_seq
+        sub_out = sub._out
+        sub_in = sub._in
+        for seq, (key, edge) in enumerate(kept_edges):
+            sub_edges[key] = edge
+            sub_seq[key] = seq
+            src, dst = key
+            sub_out[src][dst] = edge
+            sub_in[dst][src] = edge
         return sub
 
     def copy(self) -> "TxGraph":

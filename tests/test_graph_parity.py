@@ -1,0 +1,197 @@
+"""Parity tests: the indexed TxGraph must agree with reference implementations.
+
+Property-style checks on randomized graphs compare every indexed traversal
+(``neighbors``, ``degree``, ``out_edges``, ``in_edges``, ``subgraph``,
+``to_csr``) against the :meth:`TxGraph.to_networkx` view and the dense
+adjacency, and a regression test pins ``extract_many`` to the per-account
+``extract`` loop bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.features import DeepFeatureExtractor
+from repro.graph import TxGraph
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12),
+              st.floats(0.0, 100.0, allow_nan=False),
+              st.floats(0.0, 1000.0, allow_nan=False)),
+    min_size=1, max_size=60)
+
+
+def build_graph(edges) -> TxGraph:
+    g = TxGraph()
+    for src, dst, amount, ts in edges:
+        g.add_edge(src, dst, amount=amount, timestamp=ts)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_neighbors_and_degree_match_networkx(edges):
+    g = build_graph(edges)
+    nx_graph = g.to_networkx()
+    for node in g.nodes:
+        nx_nbrs = set(nx_graph.successors(node)) | set(nx_graph.predecessors(node))
+        assert g.neighbors(node) == nx_nbrs
+        assert g.degree(node) == nx_graph.out_degree(node) + nx_graph.in_degree(node) \
+            - (1 if nx_graph.has_edge(node, node) else 0)
+        assert g.out_degree(node) == nx_graph.out_degree(node)
+        assert g.in_degree(node) == nx_graph.in_degree(node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_out_in_edges_match_networkx(edges):
+    g = build_graph(edges)
+    nx_graph = g.to_networkx()
+    for node in g.nodes:
+        out_pairs = {(e.src, e.dst) for e in g.out_edges(node)}
+        in_pairs = {(e.src, e.dst) for e in g.in_edges(node)}
+        assert out_pairs == set(nx_graph.out_edges(node))
+        assert in_pairs == set(nx_graph.in_edges(node))
+        for edge in g.out_edges(node):
+            attrs = nx_graph.edges[edge.src, edge.dst]
+            assert attrs["amount"] == pytest.approx(edge.amount)
+            assert attrs["count"] == edge.count
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists, st.integers(0, 2 ** 31 - 1))
+def test_subgraph_matches_networkx_induced_view(edges, seed):
+    g = build_graph(edges)
+    rng = np.random.default_rng(seed)
+    nodes = g.nodes
+    keep = [n for n in nodes if rng.random() < 0.5] or nodes[:1]
+    sub = g.subgraph(keep)
+    nx_sub = g.to_networkx().subgraph(keep)
+    assert set(sub.nodes) == set(nx_sub.nodes)
+    assert {(e.src, e.dst) for e in sub.edges} == set(nx_sub.edges)
+    # Node and edge order must follow the parent graph's insertion order.
+    parent_rank = {n: i for i, n in enumerate(nodes)}
+    assert sub.nodes == sorted(sub.nodes, key=parent_rank.__getitem__)
+    parent_edge_rank = {(e.src, e.dst): i for i, e in enumerate(g.edges)}
+    sub_keys = [(e.src, e.dst) for e in sub.edges]
+    assert sub_keys == sorted(sub_keys, key=parent_edge_rank.__getitem__)
+    # Merged edge payloads survive unchanged.
+    for e in sub.edges:
+        parent = g.get_edge(e.src, e.dst)
+        assert (e.amount, e.count, e.timestamp) == (
+            parent.amount, parent.count, parent.timestamp)
+
+
+def _csr_to_dense(n, indptr, indices, data):
+    dense = np.zeros((n, n))
+    for i in range(n):
+        for j, v in zip(indices[indptr[i]:indptr[i + 1]], data[indptr[i]:indptr[i + 1]]):
+            dense[i, j] = v
+    return dense
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists, st.booleans(), st.booleans())
+def test_to_csr_matches_dense_adjacency(edges, weighted, symmetric):
+    g = build_graph(edges)
+    indptr, indices, data = g.to_csr(weighted=weighted, symmetric=symmetric)
+    dense = g.adjacency_matrix(weighted=weighted, symmetric=symmetric)
+    assert len(indptr) == g.num_nodes + 1
+    np.testing.assert_array_equal(
+        _csr_to_dense(g.num_nodes, indptr, indices, data), dense)
+    # Column indices must be sorted within each row (CSR canonical form).
+    for i in range(g.num_nodes):
+        row = indices[indptr[i]:indptr[i + 1]]
+        assert np.all(np.diff(row) > 0)
+
+
+def test_to_csr_empty_graph():
+    g = TxGraph()
+    indptr, indices, data = g.to_csr()
+    assert indptr.tolist() == [0]
+    assert len(indices) == 0 and len(data) == 0
+    g.add_node("isolated")
+    indptr, indices, data = g.to_csr()
+    assert indptr.tolist() == [0, 0]
+
+
+class TestEdgeAPI:
+    def test_contains(self, toy_graph):
+        assert "a" in toy_graph
+        assert "zz" not in toy_graph
+
+    def test_edges_between_directions(self, toy_graph):
+        forward = toy_graph.edges_between("a", "b")
+        assert [(e.src, e.dst) for e in forward] == [("a", "b")]
+        # Queried from the other side the same single edge comes back.
+        assert [(e.src, e.dst) for e in toy_graph.edges_between("b", "a")] == [("a", "b")]
+
+    def test_edges_between_both_directions(self):
+        g = TxGraph()
+        g.add_edge("u", "v", amount=1.0)
+        g.add_edge("v", "u", amount=2.0)
+        pairs = [(e.src, e.dst) for e in g.edges_between("u", "v")]
+        assert pairs == [("u", "v"), ("v", "u")]
+
+    def test_edges_between_self_loop_not_duplicated(self):
+        g = TxGraph()
+        g.add_edge("u", "u", amount=1.0)
+        assert len(g.edges_between("u", "u")) == 1
+
+    def test_edges_between_missing(self, toy_graph):
+        assert toy_graph.edges_between("a", "c") == []
+
+    def test_add_edge_zero_count_merge_keeps_timestamp(self):
+        g = TxGraph()
+        g.add_edge("a", "b", amount=1.0, count=0, timestamp=50.0)
+        g.add_edge("a", "b", amount=2.0, count=0, timestamp=99.0)
+        edge = g.get_edge("a", "b")
+        assert edge.count == 0
+        assert edge.amount == pytest.approx(3.0)
+        assert edge.timestamp == pytest.approx(50.0)
+
+    def test_add_edge_zero_count_then_real_count(self):
+        g = TxGraph()
+        g.add_edge("a", "b", amount=1.0, count=0, timestamp=50.0)
+        g.add_edge("a", "b", amount=2.0, count=2, timestamp=100.0)
+        edge = g.get_edge("a", "b")
+        assert edge.count == 2
+        assert edge.timestamp == pytest.approx(100.0)
+
+
+class TestExtractManyParity:
+    def test_extract_many_bit_identical_to_loop(self, small_ledger):
+        extractor = DeepFeatureExtractor(small_ledger)
+        addresses = [account.address for account in small_ledger.accounts]
+        looped = np.vstack([extractor.extract(a) for a in addresses])
+        batched = DeepFeatureExtractor(small_ledger).extract_many(addresses)
+        np.testing.assert_array_equal(looped, batched)
+
+    def test_extract_many_handles_unknown_and_duplicate_addresses(self, small_ledger):
+        extractor = DeepFeatureExtractor(small_ledger)
+        known = small_ledger.accounts[0].address
+        batched = extractor.extract_many([known, "0xunknown", known])
+        np.testing.assert_array_equal(batched[0], batched[2])
+        np.testing.assert_array_equal(batched[1], np.zeros(15))
+        np.testing.assert_array_equal(batched[0], extractor.extract(known))
+
+    def test_extract_many_cache_invalidates_on_ledger_growth(self, small_ledger):
+        import copy
+
+        from repro.chain.transactions import Block, Transaction
+
+        ledger = copy.deepcopy(small_ledger)
+        extractor = DeepFeatureExtractor(ledger)
+        addresses = [account.address for account in ledger.accounts[:5]]
+        before = extractor.extract_many(addresses).copy()
+        last_number = ledger.blocks[-1].number
+        t_max = ledger.timespan()[1]
+        ledger.append_block(Block(number=last_number + 1, timestamp=t_max + 60.0, transactions=[
+            Transaction(tx_hash="0xfeed", sender=addresses[0], receiver=addresses[1],
+                        value=5.0, gas_price=3.0, gas_used=21000,
+                        timestamp=t_max + 60.0, block_number=last_number + 1)]))
+        after = extractor.extract_many(addresses)
+        assert not np.array_equal(before, after)
+        looped = np.vstack([extractor.extract(a) for a in addresses])
+        np.testing.assert_array_equal(after, looped)
