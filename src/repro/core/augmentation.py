@@ -9,6 +9,11 @@ Two augmentation operators following Zhu et al. (2021):
 * **Node-attribute-level** — feature dimensions are masked with probability
   inversely related to their global importance (mean absolute value), so
   salient attributes survive augmentation.
+
+Both a dense ``(n, n)`` adjacency and a :class:`SparseAdjacency` are accepted;
+the output matches the input form.  The two paths draw from the RNG in the
+same order (one vector over the positive edge slots in row-major order, one
+vector over the feature columns), so a seeded run is reproducible across forms.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.graph.sparse import SparseAdjacency
 
 __all__ = ["AugmentationConfig", "adaptive_augmentation"]
 
@@ -40,70 +47,145 @@ class AugmentationConfig:
             raise ValueError("feature_mask_prob must be in [0, 1]")
 
 
-def _edge_centrality_matrix(adjacency: np.ndarray, measure: str) -> np.ndarray:
-    """Centrality score per edge slot, from node centralities of the dense adjacency."""
-    binary = (adjacency > 0).astype(float)
+def _node_centrality_dense(binary: np.ndarray, measure: str) -> np.ndarray:
+    """Node centrality scores of a dense 0/1 adjacency."""
     n = binary.shape[0]
     if measure == "degree":
-        node_scores = binary.sum(axis=1)
-    elif measure == "eigenvector":
+        return binary.sum(axis=1)
+    if measure == "eigenvector":
         x = np.full(n, 1.0 / max(n, 1))
         for _ in range(50):
             x_next = binary @ x + 1e-12
             x_next /= np.linalg.norm(x_next)
             x = x_next
-        node_scores = np.abs(x)
-    elif measure == "pagerank":
+        return np.abs(x)
+    if measure == "pagerank":
         damping = 0.85
         out_degree = np.maximum(binary.sum(axis=1), 1.0)
         transition = binary / out_degree[:, None]
         rank = np.full(n, 1.0 / max(n, 1))
         for _ in range(50):
             rank = (1.0 - damping) / max(n, 1) + damping * transition.T @ rank
-        node_scores = rank
-    else:
-        raise ValueError(f"unknown centrality measure: {measure!r}")
+        return rank
+    raise ValueError(f"unknown centrality measure: {measure!r}")
+
+
+def _node_centrality_sparse(binary: SparseAdjacency, measure: str) -> np.ndarray:
+    """CSR twin of :func:`_node_centrality_dense` (same iteration counts)."""
+    n = binary.num_nodes
+    if measure == "degree":
+        return binary.row_sums()
+    if measure == "eigenvector":
+        x = np.full(n, 1.0 / max(n, 1))
+        for _ in range(50):
+            x_next = binary.matmul(x) + 1e-12
+            x_next /= np.linalg.norm(x_next)
+            x = x_next
+        return np.abs(x)
+    if measure == "pagerank":
+        damping = 0.85
+        out_degree = np.maximum(binary.row_sums(), 1.0)
+        transition = binary.scale(row=1.0 / out_degree)
+        rank = np.full(n, 1.0 / max(n, 1))
+        for _ in range(50):
+            rank = (1.0 - damping) / max(n, 1) + damping * transition.rmatmul(rank)
+        return rank
+    raise ValueError(f"unknown centrality measure: {measure!r}")
+
+
+def _edge_centrality_matrix(adjacency: np.ndarray, measure: str) -> np.ndarray:
+    """Centrality score per edge slot, from node centralities of the dense adjacency."""
+    binary = (adjacency > 0).astype(float)
+    node_scores = _node_centrality_dense(binary, measure)
     return 0.5 * (node_scores[:, None] + node_scores[None, :])
 
 
-def adaptive_augmentation(adjacency: np.ndarray, features: np.ndarray,
-                          config: AugmentationConfig,
-                          rng: np.random.Generator | None = None,
-                          ) -> tuple[np.ndarray, np.ndarray]:
-    """Return an augmented ``(adjacency, features)`` view of a subgraph.
+def _drop_mask(scores: np.ndarray, edge_drop_prob: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """Per-slot drop decisions from edge-centrality scores.
 
-    Edge drop probabilities are scaled so that, on average, a fraction
-    ``edge_drop_prob`` of edges is removed, but low-centrality edges are removed
-    preferentially.  Feature-mask probabilities are likewise scaled by inverse
-    column importance.
+    Higher centrality -> lower drop probability; probabilities are rescaled so
+    the mean matches ``edge_drop_prob`` and clipped at 0.95.
     """
-    rng = rng or np.random.default_rng(0)
-    adjacency = np.asarray(adjacency, dtype=float)
-    features = np.asarray(features, dtype=float)
+    inverse = scores.max() - scores + 1e-9
+    drop_probs = inverse / inverse.mean() * edge_drop_prob
+    drop_probs = np.clip(drop_probs, 0.0, 0.95)
+    return rng.random(len(drop_probs)) < drop_probs
 
+
+def _mask_features(features: np.ndarray, feature_mask_prob: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Column-wise masking scaled by inverse feature importance."""
+    augmented = features.copy()
+    if feature_mask_prob > 0.0 and features.size:
+        importance = np.abs(features).mean(axis=0) + 1e-9
+        inverse = importance.max() - importance + 1e-9
+        mask_probs = inverse / inverse.mean() * feature_mask_prob
+        mask_probs = np.clip(mask_probs, 0.0, 0.95)
+        column_mask = rng.random(features.shape[1]) < mask_probs
+        augmented[:, column_mask] = 0.0
+    return augmented
+
+
+def _augment_dense(adjacency: np.ndarray, config: AugmentationConfig,
+                   rng: np.random.Generator) -> np.ndarray:
     augmented_adj = adjacency.copy()
     edge_mask = adjacency > 0
     if config.edge_drop_prob > 0.0 and edge_mask.any():
         centrality = _edge_centrality_matrix(adjacency, config.centrality_measure)
-        scores = centrality[edge_mask]
-        # Higher centrality -> lower drop probability; rescale to the target mean.
-        inverse = scores.max() - scores + 1e-9
-        drop_probs = inverse / inverse.mean() * config.edge_drop_prob
-        drop_probs = np.clip(drop_probs, 0.0, 0.95)
-        dropped = rng.random(len(drop_probs)) < drop_probs
+        dropped = _drop_mask(centrality[edge_mask], config.edge_drop_prob, rng)
         kept_values = augmented_adj[edge_mask]
         kept_values[dropped] = 0.0
         augmented_adj[edge_mask] = kept_values
         augmented_adj = np.maximum(augmented_adj, augmented_adj.T) \
             if np.allclose(adjacency, adjacency.T) else augmented_adj
+    return augmented_adj
 
-    augmented_features = features.copy()
-    if config.feature_mask_prob > 0.0 and features.size:
-        importance = np.abs(features).mean(axis=0) + 1e-9
-        inverse = importance.max() - importance + 1e-9
-        mask_probs = inverse / inverse.mean() * config.feature_mask_prob
-        mask_probs = np.clip(mask_probs, 0.0, 0.95)
-        column_mask = rng.random(features.shape[1]) < mask_probs
-        augmented_features[:, column_mask] = 0.0
 
+def _augment_sparse(adjacency: SparseAdjacency, config: AugmentationConfig,
+                    rng: np.random.Generator) -> SparseAdjacency:
+    """CSR edge drop with the dense path's semantics.
+
+    Positive slots are enumerated in the same row-major order as the dense
+    ``adjacency > 0`` mask, each slot is dropped independently, and a symmetric
+    input is re-symmetrised with ``max(A, A.T)`` — so, like the dense path, an
+    undirected edge survives unless *both* of its directed slots are dropped.
+    """
+    edge_mask = adjacency.data > 0
+    if config.edge_drop_prob <= 0.0 or not edge_mask.any():
+        return adjacency
+    node_scores = _node_centrality_sparse(adjacency.binarized(),
+                                          config.centrality_measure)
+    scores = 0.5 * (node_scores[adjacency.rows] + node_scores[adjacency.indices])
+    dropped = _drop_mask(scores[edge_mask], config.edge_drop_prob, rng)
+    data = adjacency.data.copy()
+    kept_values = data[edge_mask]
+    kept_values[dropped] = 0.0
+    data[edge_mask] = kept_values
+    augmented = SparseAdjacency(adjacency.indptr, adjacency.indices, data)
+    if adjacency.is_symmetric():
+        augmented = augmented.symmetrized_max()
+    return augmented.pruned()
+
+
+def adaptive_augmentation(adjacency, features: np.ndarray,
+                          config: AugmentationConfig,
+                          rng: np.random.Generator | None = None,
+                          ):
+    """Return an augmented ``(adjacency, features)`` view of a subgraph.
+
+    Edge drop probabilities are scaled so that, on average, a fraction
+    ``edge_drop_prob`` of edges is removed, but low-centrality edges are removed
+    preferentially.  Feature-mask probabilities are likewise scaled by inverse
+    column importance.  The adjacency may be dense or sparse; the augmented
+    adjacency is returned in the same form.
+    """
+    rng = rng or np.random.default_rng(0)
+    features = np.asarray(features, dtype=float)
+    if isinstance(adjacency, SparseAdjacency):
+        augmented_adj = _augment_sparse(adjacency, config, rng)
+    else:
+        augmented_adj = _augment_dense(np.asarray(adjacency, dtype=float),
+                                       config, rng)
+    augmented_features = _mask_features(features, config.feature_mask_prob, rng)
     return augmented_adj, augmented_features

@@ -51,12 +51,13 @@ class _GSGNetwork(Module):
         self.head = Linear(config.hidden_dim, 1, rng=rng)
 
     def embed(self, features: np.ndarray, edge_features: np.ndarray,
-              adjacency: np.ndarray) -> Tensor:
+              adjacency) -> Tensor:
+        """``adjacency`` is a :class:`SparseAdjacency` (dense arrays also work)."""
         aligned = leaky_relu(self.align(Tensor(np.hstack([features, edge_features]))))
         return self.encoder(aligned, adjacency)
 
     def forward(self, features: np.ndarray, edge_features: np.ndarray,
-                adjacency: np.ndarray) -> Tensor:
+                adjacency) -> Tensor:
         return self.head(self.embed(features, edge_features, adjacency))
 
 
@@ -74,11 +75,14 @@ class GSGBranch:
         self._feature_stats: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ helpers
-    def _prepare(self, sample: AccountSubgraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _prepare(self, sample: AccountSubgraph):
         mean, std = self._feature_stats
         features = (sample.node_features - mean) / std
         edge_features = np.log1p(np.abs(sample.node_edge_features()))
-        adjacency = sample.adjacency()
+        # The sample's cached CSR adjacency: its memoized attention structure
+        # and normalisations are shared across every epoch and both
+        # contrastive views' un-augmented uses.
+        adjacency = sample.adjacency_sparse()
         return features, edge_features, adjacency
 
     def _fit_feature_stats(self, samples: list[AccountSubgraph]) -> None:

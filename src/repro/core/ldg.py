@@ -65,9 +65,13 @@ class _LDGNetwork(Module):
             clusters = max(1, clusters // 2)
         return pools
 
-    def slice_representations(self, features: np.ndarray,
-                              slices: list[np.ndarray]) -> list[Tensor]:
-        """Per-slice pooled evolutionary features ``h^pool_t`` (Eq. 20/22 inputs)."""
+    def slice_representations(self, features: np.ndarray, slices) -> list[Tensor]:
+        """Per-slice pooled evolutionary features ``h^pool_t`` (Eq. 20/22 inputs).
+
+        ``slices`` is a sequence of per-slice adjacencies — sparse
+        :class:`~repro.graph.sparse.SparseAdjacency` instances in the training
+        path, dense matrices for backward compatibility.
+        """
         projected = relu(self.input_proj(Tensor(features)))
         hidden = projected
         pooled_per_slice: list[Tensor] = []
@@ -80,7 +84,7 @@ class _LDGNetwork(Module):
             pooled_per_slice.append(pooled.mean(axis=0, keepdims=True))
         return pooled_per_slice
 
-    def forward(self, features: np.ndarray, slices: list[np.ndarray]) -> Tensor:
+    def forward(self, features: np.ndarray, slices) -> Tensor:
         pooled_per_slice = self.slice_representations(features, slices)
         weights = softmax(self.slice_logits.reshape(1, -1), axis=1)
         representation = None
@@ -98,10 +102,12 @@ class LDGBranch:
         self._network: _LDGNetwork | None = None
         self._feature_stats: tuple[np.ndarray, np.ndarray] | None = None
 
-    def _prepare(self, sample: AccountSubgraph) -> tuple[np.ndarray, list[np.ndarray]]:
+    def _prepare(self, sample: AccountSubgraph):
         mean, std = self._feature_stats
         features = (sample.node_features - mean) / std
-        slices = sample.time_slices(self.config.num_slices, weighted=False)
+        # Cached CSR slices: built once per sample, no dense per-slice matrices.
+        slices = sample.time_slices(self.config.num_slices, weighted=False,
+                                    sparse=True)
         return features, slices
 
     def _fit_feature_stats(self, samples: list[AccountSubgraph]) -> None:

@@ -19,7 +19,11 @@ from repro.data.dataset import (
     SubgraphDatasetBuilder,
     DatasetConfig,
 )
-from repro.data.slicing import transaction_evolution_times, time_slice_adjacency
+from repro.data.slicing import (
+    transaction_evolution_times,
+    time_slice_adjacency,
+    time_slice_csr,
+)
 from repro.data.splits import train_test_split, stratified_kfold, one_vs_rest_labels
 
 __all__ = [
@@ -35,6 +39,7 @@ __all__ = [
     "DatasetConfig",
     "transaction_evolution_times",
     "time_slice_adjacency",
+    "time_slice_csr",
     "train_test_split",
     "stratified_kfold",
     "one_vs_rest_labels",

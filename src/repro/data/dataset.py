@@ -10,8 +10,9 @@ from repro.chain.labelcloud import AccountCategory
 from repro.chain.ledger import Ledger
 from repro.data.features import FEATURE_NAMES, DeepFeatureExtractor
 from repro.data.pipeline import build_transaction_graph
-from repro.data.slicing import time_slice_adjacency
+from repro.data.slicing import time_slice_adjacency, time_slice_csr
 from repro.graph.sampling import ego_subgraph
+from repro.graph.sparse import SparseAdjacency
 from repro.graph.txgraph import TxGraph
 
 __all__ = ["AccountSubgraph", "SubgraphDataset", "SubgraphDatasetBuilder", "DatasetConfig"]
@@ -41,6 +42,11 @@ class AccountSubgraph:
     graph: TxGraph
     node_features: np.ndarray
     center_index: int
+    # Lazily built sparse forms: the subgraph topology never changes after
+    # sampling, so the CSR adjacency and time-slice sequences (plus their
+    # memoized normalisations) are shared across every training epoch.
+    _sparse_cache: dict = field(default_factory=dict, init=False, repr=False,
+                                compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -53,6 +59,14 @@ class AccountSubgraph:
     def adjacency(self, weighted: bool = False) -> np.ndarray:
         """Symmetric adjacency matrix for message passing."""
         return self.graph.adjacency_matrix(weighted=weighted, symmetric=True)
+
+    def adjacency_sparse(self, weighted: bool = False) -> SparseAdjacency:
+        """Cached CSR view of :meth:`adjacency` (same symmetric ``max(A, A.T)``)."""
+        key = ("adjacency", weighted)
+        if key not in self._sparse_cache:
+            self._sparse_cache[key] = SparseAdjacency.from_graph(
+                self.graph, weighted=weighted, symmetric=True)
+        return self._sparse_cache[key]
 
     def edge_features(self) -> np.ndarray:
         """Edge feature matrix ``[total amount, count]`` (Section III-B3)."""
@@ -73,9 +87,21 @@ class AccountSubgraph:
                 agg[idx, 1] += edge.count
         return agg
 
-    def time_slices(self, num_slices: int, weighted: bool = True) -> list[np.ndarray]:
-        """The LDG's discrete-time adjacency sequence (Eq. 1)."""
-        return time_slice_adjacency(self.graph, num_slices, weighted=weighted)
+    def time_slices(self, num_slices: int, weighted: bool = True,
+                    sparse: bool = False):
+        """The LDG's discrete-time adjacency sequence (Eq. 1).
+
+        With ``sparse=True`` the slices are cached :class:`SparseAdjacency`
+        instances built straight from the edge arrays (no dense allocation);
+        the default remains the seed's dense matrices.
+        """
+        if not sparse:
+            return time_slice_adjacency(self.graph, num_slices, weighted=weighted)
+        key = ("slices", num_slices, weighted)
+        if key not in self._sparse_cache:
+            self._sparse_cache[key] = time_slice_csr(
+                self.graph, num_slices, weighted=weighted)
+        return self._sparse_cache[key]
 
 
 @dataclass

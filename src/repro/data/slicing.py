@@ -1,12 +1,20 @@
-"""Transaction-evolution-time slicing for the Local Dynamic Graph (Eq. 1)."""
+"""Transaction-evolution-time slicing for the Local Dynamic Graph (Eq. 1).
+
+Two slicers share the same edge-to-slot assignment: :func:`time_slice_adjacency`
+(the seed's dense ``(n, n)`` matrices) and :func:`time_slice_csr`, which builds
+:class:`~repro.graph.sparse.SparseAdjacency` slices directly from the edge
+arrays without ever allocating a dense matrix — the form the sparse LDG encoder
+consumes.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
 from repro.graph.txgraph import TxGraph
 
-__all__ = ["transaction_evolution_times", "time_slice_adjacency"]
+__all__ = ["transaction_evolution_times", "time_slice_adjacency", "time_slice_csr"]
 
 
 def transaction_evolution_times(graph: TxGraph) -> dict[tuple, float]:
@@ -57,4 +65,50 @@ def time_slice_adjacency(graph: TxGraph, num_slices: int,
     if cumulative:
         for k in range(1, num_slices):
             slices[k] += slices[k - 1]
+    return slices
+
+
+def _edge_slice_arrays(graph: TxGraph, num_slices: int, weighted: bool,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``(src_idx, dst_idx, value, slot)`` per merged edge."""
+    edges = graph.edges
+    m = len(edges)
+    src = np.empty(m, dtype=np.int64)
+    dst = np.empty(m, dtype=np.int64)
+    vals = np.empty(m, dtype=np.float64)
+    stamps = np.empty(m, dtype=np.float64)
+    for i, edge in enumerate(edges):
+        src[i] = graph.node_index(edge.src)
+        dst[i] = graph.node_index(edge.dst)
+        vals[i] = edge.amount if weighted else 1.0
+        stamps[i] = edge.timestamp
+    t_min = stamps.min()
+    span = stamps.max() - t_min
+    times = (stamps - t_min) / span if span > 0 else np.zeros(m)
+    slots = np.minimum((times * num_slices).astype(np.int64), num_slices - 1)
+    return src, dst, vals, slots
+
+
+def time_slice_csr(graph: TxGraph, num_slices: int, weighted: bool = True,
+                   cumulative: bool = False) -> list[SparseAdjacency]:
+    """CSR twin of :func:`time_slice_adjacency`: no per-slice dense allocation.
+
+    Returns one :class:`SparseAdjacency` per slice whose dense view equals the
+    corresponding seed matrix: the same slot assignment, the same symmetrised
+    accumulation (each edge contributes to ``(i, j)`` and ``(j, i)``, so a
+    self loop counts twice on the diagonal) and the same cumulative semantics.
+    """
+    if num_slices < 1:
+        raise ValueError("num_slices must be >= 1")
+    n = graph.num_nodes
+    if graph.num_edges == 0:
+        return [SparseAdjacency.empty(n) for _ in range(num_slices)]
+    src, dst, vals, slots = _edge_slice_arrays(graph, num_slices, weighted)
+    slices = []
+    for k in range(num_slices):
+        mask = slots <= k if cumulative else slots == k
+        i, j, v = src[mask], dst[mask], vals[mask]
+        slices.append(SparseAdjacency.from_coo(
+            np.concatenate([i, j]), np.concatenate([j, i]),
+            np.concatenate([v, v]), n))
     return slices

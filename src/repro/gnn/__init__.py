@@ -1,10 +1,14 @@
 """Graph neural network layers, pooling operators and recurrent units.
 
-All layers operate on dense adjacency matrices (the paper's subgraphs average
-~80-120 nodes, Table II) and :class:`repro.nn.Tensor` feature matrices, so the
-whole stack trains with the numpy autograd engine.
+All layers aggregate on CSR sparse adjacency (:class:`SparseAdjacency`) in
+O(E) per layer; dense ``(n, n)`` matrices are accepted everywhere and coerced
+on entry.  Feature matrices are :class:`repro.nn.Tensor`, so the whole stack
+trains with the numpy autograd engine; the seed's dense forward passes are
+preserved in :mod:`repro.gnn.dense_reference` as the parity/benchmark baseline.
 """
 
+from repro.graph.sparse import SparseAdjacency
+from repro.gnn.sparse_ops import segment_softmax, segment_sum, spmm, spmm_edge_weighted
 from repro.gnn.layers import (
     GCNLayer,
     GATLayer,
@@ -18,6 +22,11 @@ from repro.gnn.recurrent import GRUCell
 from repro.gnn.hierarchical import HierarchicalAttentionEncoder, GraphAttentionReadout
 
 __all__ = [
+    "SparseAdjacency",
+    "spmm",
+    "spmm_edge_weighted",
+    "segment_softmax",
+    "segment_sum",
     "GCNLayer",
     "GATLayer",
     "GINLayer",

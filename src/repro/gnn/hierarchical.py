@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
 from repro.gnn.layers import GATLayer
 from repro.gnn.pooling import global_max_pool
 from repro.nn import Linear, Module, Tensor, concat
@@ -59,13 +60,19 @@ class HierarchicalAttentionEncoder(Module):
                        for i in range(num_layers)]
         self.readout = GraphAttentionReadout(hidden_dim, rng=rng)
 
-    def node_embeddings(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        """Run only the node-level attention stack (Eq. 7-9)."""
+    def node_embeddings(self, x: Tensor, adjacency) -> Tensor:
+        """Run only the node-level attention stack (Eq. 7-9).
+
+        ``adjacency`` may be a :class:`SparseAdjacency` or a dense matrix; a
+        dense input is converted once here so every GAT layer (and each of its
+        heads) shares the same CSR structure and its cached derived forms.
+        """
+        adj = SparseAdjacency.coerce(adjacency)
         h = x
         for layer in self.layers:
-            h = layer(h, adjacency)
+            h = layer(h, adj)
         return h
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, adjacency) -> Tensor:
         """Return the ``(1, hidden_dim)`` subgraph embedding."""
         return self.readout(self.node_embeddings(x, adjacency))

@@ -1,11 +1,20 @@
-"""Dense graph convolution layers: GCN, GAT, GIN, GraphSAGE and APPNP."""
+"""Graph convolution layers on CSR sparse adjacency: GCN, GAT, GIN, GraphSAGE, APPNP.
+
+Every layer aggregates in O(E) over a :class:`~repro.graph.sparse.SparseAdjacency`;
+dense ``(n, n)`` matrices are still accepted everywhere and converted on entry,
+so the seed's dense API keeps working.  ``tests/test_gnn_sparse_parity.py``
+pins each sparse forward against the faithful dense implementations preserved
+in :mod:`repro.gnn.dense_reference` to within 1e-9.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
+from repro.gnn.sparse_ops import segment_softmax, spmm, spmm_edge_weighted
 from repro.nn import Module, Linear, Parameter, Tensor, concat
-from repro.nn.functional import elu, leaky_relu, relu, softmax
+from repro.nn.functional import elu, leaky_relu, relu
 
 __all__ = [
     "normalize_adjacency",
@@ -17,8 +26,16 @@ __all__ = [
 ]
 
 
-def normalize_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
-    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``."""
+def normalize_adjacency(adjacency, add_self_loops: bool = True):
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Polymorphic: a :class:`SparseAdjacency` input returns the normalised sparse
+    form; a dense array keeps the seed's dense-in / dense-out contract.  Both
+    paths guard zero-degree rows (isolated nodes with ``add_self_loops=False``)
+    by zeroing the inverse square root instead of dividing by zero.
+    """
+    if isinstance(adjacency, SparseAdjacency):
+        return adjacency.gcn_normalized(add_self_loops=add_self_loops)
     adj = np.asarray(adjacency, dtype=np.float64)
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise ValueError("adjacency must be a square matrix")
@@ -40,17 +57,19 @@ class GCNLayer(Module):
         self.linear = Linear(in_dim, out_dim, rng=rng)
         self.activation = activation
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        normalized = Tensor(normalize_adjacency(adjacency))
-        out = normalized @ self.linear(x)
+    def forward(self, x: Tensor, adjacency) -> Tensor:
+        adj = SparseAdjacency.coerce(adjacency)
+        out = spmm(adj.gcn_normalized(), self.linear(x))
         return self.activation(out) if self.activation is not None else out
 
 
 class GATLayer(Module):
     """Graph attention (Velickovic et al. 2018) with ``num_heads`` averaged heads.
 
-    Attention coefficients are computed only over existing edges (plus self
-    loops); non-edges receive a large negative score before the softmax.
+    Attention runs entirely on the edge list of ``A > 0`` plus self loops:
+    per-edge scores ``LeakyReLU(a_src·h_i + a_dst·h_j)`` are normalised with a
+    per-row segment softmax and aggregated with an edge-weighted scatter — the
+    sparse equivalent of the seed's ``(n, n)`` mask + ``-1e9`` softmax.
     """
 
     def __init__(self, in_dim: int, out_dim: int, num_heads: int = 1,
@@ -69,18 +88,19 @@ class GATLayer(Module):
         self.attn_dst = [Parameter(rng.normal(0.0, 0.1, size=(out_dim, 1)))
                          for _ in range(num_heads)]
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, adjacency) -> Tensor:
         n = x.shape[0]
-        mask = (np.asarray(adjacency) > 0).astype(np.float64) + np.eye(n)
-        neg_inf = Tensor((mask <= 0).astype(np.float64) * -1e9)
+        structure = SparseAdjacency.coerce(adjacency).attention_structure()
+        rows, cols = structure.rows, structure.indices
         head_outputs = []
         for head in range(self.num_heads):
             h = self.projections[head](x)                   # (n, out_dim)
             score_src = h @ self.attn_src[head]             # (n, 1)
             score_dst = h @ self.attn_dst[head]             # (n, 1)
-            scores = leaky_relu(score_src + score_dst.T, self.negative_slope)
-            attn = softmax(scores + neg_inf, axis=1)
-            head_outputs.append(attn @ h)
+            scores = leaky_relu(score_src[rows] + score_dst[cols],
+                                self.negative_slope)        # (E, 1)
+            attn = segment_softmax(scores, structure)
+            head_outputs.append(spmm_edge_weighted(structure, attn, h))
         if self.num_heads == 1:
             out = head_outputs[0]
         else:
@@ -102,9 +122,9 @@ class GINLayer(Module):
         self.fc1 = Linear(in_dim, hidden_dim, rng=rng)
         self.fc2 = Linear(hidden_dim, out_dim, rng=rng)
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        adj = Tensor((np.asarray(adjacency) > 0).astype(np.float64))
-        aggregated = adj @ x
+    def forward(self, x: Tensor, adjacency) -> Tensor:
+        adj = SparseAdjacency.coerce(adjacency)
+        aggregated = spmm(adj.binarized(), x)
         combined = x * (self.eps + 1.0) + aggregated
         return self.fc2(relu(self.fc1(combined)))
 
@@ -120,12 +140,10 @@ class GraphSAGELayer(Module):
         self.neighbor_linear = Linear(in_dim, out_dim, rng=rng)
         self.activation = activation
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
-        adj = (np.asarray(adjacency) > 0).astype(np.float64)
-        degree = adj.sum(axis=1, keepdims=True)
-        degree[degree == 0] = 1.0
-        mean_adj = Tensor(adj / degree)
-        out = self.self_linear(x) + self.neighbor_linear(mean_adj @ x)
+    def forward(self, x: Tensor, adjacency) -> Tensor:
+        adj = SparseAdjacency.coerce(adjacency)
+        neighbor_mean = spmm(adj.mean_normalized(), x)
+        out = self.self_linear(x) + self.neighbor_linear(neighbor_mean)
         return self.activation(out) if self.activation is not None else out
 
 
@@ -142,9 +160,9 @@ class APPNPPropagation(Module):
         self.k = k
         self.alpha = alpha
 
-    def forward(self, h0: Tensor, adjacency: np.ndarray) -> Tensor:
-        normalized = Tensor(normalize_adjacency(adjacency))
+    def forward(self, h0: Tensor, adjacency) -> Tensor:
+        normalized = SparseAdjacency.coerce(adjacency).gcn_normalized()
         h = h0
         for _ in range(self.k):
-            h = (normalized @ h) * (1.0 - self.alpha) + h0 * self.alpha
+            h = spmm(normalized, h) * (1.0 - self.alpha) + h0 * self.alpha
         return h

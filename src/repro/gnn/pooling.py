@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.sparse import SparseAdjacency
 from repro.gnn.layers import GCNLayer
 from repro.nn import Module, Tensor
 from repro.nn.functional import softmax
@@ -47,11 +48,17 @@ class DiffPool(Module):
         self.assign_gnn = GCNLayer(in_dim, num_clusters, activation=None, rng=rng)
         self.embed_gnn = GCNLayer(in_dim, in_dim, rng=rng)
 
-    def forward(self, x: Tensor, adjacency: np.ndarray) -> tuple[Tensor, np.ndarray, Tensor]:
-        """Return ``(pooled features, pooled adjacency, assignment matrix)``."""
-        assignment = softmax(self.assign_gnn(x, adjacency), axis=1)   # (n, c)
-        embedded = self.embed_gnn(x, adjacency)                        # (n, d)
+    def forward(self, x: Tensor, adjacency) -> tuple[Tensor, np.ndarray, Tensor]:
+        """Return ``(pooled features, pooled adjacency, assignment matrix)``.
+
+        ``adjacency`` may be sparse or dense; the coarsened ``M^T A M`` is
+        returned dense — it has at most ``num_clusters`` rows and is already
+        effectively full, so nothing is gained by keeping it in CSR form.
+        """
+        adj = SparseAdjacency.coerce(adjacency)
+        assignment = softmax(self.assign_gnn(x, adj), axis=1)          # (n, c)
+        embedded = self.embed_gnn(x, adj)                              # (n, d)
         pooled_features = assignment.T @ embedded                      # (c, d)
         assign_np = assignment.data
-        pooled_adjacency = assign_np.T @ np.asarray(adjacency) @ assign_np
+        pooled_adjacency = adj.rmatmul(assign_np).T @ assign_np        # M^T A M
         return pooled_features, pooled_adjacency, assignment

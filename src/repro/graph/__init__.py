@@ -8,6 +8,7 @@ centralities used by the adaptive graph augmentation of the GSG encoder.
 """
 
 from repro.graph.txgraph import TxGraph, Edge
+from repro.graph.sparse import SparseAdjacency
 from repro.graph.centrality import (
     degree_centrality,
     eigenvector_centrality,
@@ -19,6 +20,7 @@ from repro.graph.sampling import ego_subgraph, top_k_neighbors
 __all__ = [
     "TxGraph",
     "Edge",
+    "SparseAdjacency",
     "degree_centrality",
     "eigenvector_centrality",
     "pagerank_centrality",

@@ -1,0 +1,292 @@
+"""CSR sparse adjacency value type shared by the data pipeline and the GNN stack.
+
+:class:`SparseAdjacency` wraps the ``(indptr, indices, data)`` arrays produced
+by :meth:`TxGraph.to_csr` (or converted from a dense matrix) and provides the
+O(E) primitives message passing is built on: row-segment reductions, sparse
+matrix/dense matrix products and their transposed counterparts.  Instances are
+treated as **immutable** — every transformation (``with_self_loops``,
+``binarized``, ``gcn_normalized``, ...) returns a new instance, which lets the
+expensive derived forms be memoized per instance and reused across training
+epochs.
+
+The module is intentionally numpy-only (no autograd imports) so that the
+``graph`` and ``data`` layers can depend on it; the gradient-aware operators
+live in :mod:`repro.gnn.sparse_ops`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseAdjacency", "segment_reduce"]
+
+
+def segment_reduce(contrib: np.ndarray, indptr: np.ndarray, ufunc=np.add) -> np.ndarray:
+    """Reduce row-sorted per-edge contributions into per-row outputs.
+
+    ``contrib`` holds one entry per stored edge, ordered by CSR row (axis 0);
+    ``indptr`` is the usual CSR row-pointer array.  Rows with no entries reduce
+    to 0.  Implemented with ``ufunc.reduceat`` over the non-empty rows only:
+    because empty rows contribute no boundaries, each non-empty row's segment
+    ends exactly at the next non-empty row's start.
+    """
+    num_rows = len(indptr) - 1
+    out_shape = (num_rows,) + contrib.shape[1:]
+    out = np.zeros(out_shape, dtype=np.float64)
+    if contrib.shape[0] == 0:
+        return out
+    nonempty = indptr[1:] > indptr[:-1]
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(contrib, indptr[:-1][nonempty], axis=0)
+    return out
+
+
+class SparseAdjacency:
+    """An immutable square adjacency matrix in CSR form.
+
+    Invariants (the same contract as :meth:`TxGraph.to_csr`):
+
+    * ``indptr`` has length ``num_nodes + 1`` with ``indptr[0] == 0``;
+    * row ``i``'s stored columns are ``indices[indptr[i]:indptr[i+1]]``,
+      sorted ascending and without duplicates;
+    * ``data`` holds the matching values (explicit zeros are allowed — they
+      arise from augmentation edge drops — and are ignored by the binarized
+      structure).
+
+    Derived forms are memoized on the instance, so callers must never mutate
+    the arrays of a ``SparseAdjacency`` they did not just create.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "num_nodes", "_memo")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise ValueError("indptr must be a 1-D array of length num_nodes + 1")
+        self.num_nodes = len(self.indptr) - 1
+        if len(self.indices) != len(self.data) or self.indptr[-1] != len(self.indices):
+            raise ValueError("indices/data lengths must match indptr[-1]")
+        self._memo: dict = {}
+
+    # ---------------------------------------------------------------- builders
+    @classmethod
+    def coerce(cls, adjacency) -> "SparseAdjacency":
+        """Pass through a :class:`SparseAdjacency`; convert a dense matrix."""
+        if isinstance(adjacency, cls):
+            return adjacency
+        return cls.from_dense(adjacency)
+
+    @classmethod
+    def from_dense(cls, adjacency: np.ndarray) -> "SparseAdjacency":
+        """CSR view of a dense square matrix (non-zero entries, row-major order)."""
+        adj = np.asarray(adjacency, dtype=np.float64)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValueError("adjacency must be a square matrix")
+        rows, cols = np.nonzero(adj)
+        indptr = np.zeros(adj.shape[0] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=adj.shape[0]), out=indptr[1:])
+        return cls(indptr, cols.astype(np.int64), adj[rows, cols])
+
+    @classmethod
+    def from_graph(cls, graph, weighted: bool = False, symmetric: bool = True,
+                   ) -> "SparseAdjacency":
+        """CSR adjacency of a :class:`~repro.graph.txgraph.TxGraph`."""
+        return cls(*graph.to_csr(weighted=weighted, symmetric=symmetric))
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, num_nodes: int, combine=np.add,
+                 ) -> "SparseAdjacency":
+        """Build from COO triplets; duplicate slots are combined with ``combine``.
+
+        ``combine`` must be a binary ufunc (``np.add`` for accumulating slicers,
+        ``np.maximum`` for the ``max(A, A.T)`` symmetric view).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if len(rows) == 0:
+            return cls(np.zeros(num_nodes + 1, dtype=np.int64),
+                       np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64))
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        keys = rows * num_nodes + cols
+        starts = np.flatnonzero(np.diff(keys, prepend=keys[0] - 1))
+        rows, cols = rows[starts], cols[starts]
+        vals = combine.reduceat(vals, starts)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=num_nodes), out=indptr[1:])
+        return cls(indptr, cols, vals)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "SparseAdjacency":
+        return cls(np.zeros(num_nodes + 1, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64))
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_nodes, self.num_nodes)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def rows(self) -> np.ndarray:
+        """COO row index per stored entry (cached expansion of ``indptr``)."""
+        if "rows" not in self._memo:
+            self._memo["rows"] = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
+                                           np.diff(self.indptr))
+        return self._memo["rows"]
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if self.nnz:
+            dense[self.rows, self.indices] = self.data
+        return dense
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row sum of stored values (the weighted degree vector)."""
+        return segment_reduce(self.data, self.indptr)
+
+    def is_symmetric(self) -> bool:
+        """Structure and values equal to the transpose (within allclose)."""
+        t = self.transpose()
+        return (np.array_equal(self.indptr, t.indptr)
+                and np.array_equal(self.indices, t.indices)
+                and np.allclose(self.data, t.data))
+
+    # ------------------------------------------------------------- derived forms
+    def _memoized(self, key: str, build):
+        if key not in self._memo:
+            self._memo[key] = build()
+        return self._memo[key]
+
+    def transpose(self) -> "SparseAdjacency":
+        """``A.T`` in CSR form (cached; stored slots are unique so no combining)."""
+        return self._memoized("transpose", lambda: SparseAdjacency.from_coo(
+            self.indices, self.rows, self.data, self.num_nodes))
+
+    def with_self_loops(self, value: float = 1.0) -> "SparseAdjacency":
+        """``A + value * I`` — existing diagonal entries are incremented."""
+        def build():
+            diag = np.arange(self.num_nodes, dtype=np.int64)
+            return SparseAdjacency.from_coo(
+                np.concatenate([self.rows, diag]),
+                np.concatenate([self.indices, diag]),
+                np.concatenate([self.data, np.full(self.num_nodes, value)]),
+                self.num_nodes)
+        return self._memoized(("self_loops", value), build)
+
+    def binarized(self) -> "SparseAdjacency":
+        """Structure of the strictly positive entries with unit values.
+
+        Mirrors the dense ``(A > 0).astype(float)`` masks used by the seed GIN,
+        SAGE and GAT layers; non-positive stored entries are dropped.
+        """
+        def build():
+            keep = self.data > 0
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(np.bincount(self.rows[keep], minlength=self.num_nodes),
+                      out=indptr[1:])
+            return SparseAdjacency(indptr, self.indices[keep],
+                                   np.ones(int(keep.sum()), dtype=np.float64))
+        return self._memoized("binarized", build)
+
+    def pruned(self) -> "SparseAdjacency":
+        """Drop explicit zero entries (e.g. after augmentation edge drops)."""
+        keep = self.data != 0
+        if keep.all():
+            return self
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.rows[keep], minlength=self.num_nodes),
+                  out=indptr[1:])
+        return SparseAdjacency(indptr, self.indices[keep], self.data[keep])
+
+    def symmetrized_max(self) -> "SparseAdjacency":
+        """``max(A, A.T)`` for non-negative matrices (absent entries count as 0)."""
+        return SparseAdjacency.from_coo(
+            np.concatenate([self.rows, self.indices]),
+            np.concatenate([self.indices, self.rows]),
+            np.concatenate([self.data, self.data]),
+            self.num_nodes, combine=np.maximum)
+
+    def scale(self, row: np.ndarray | None = None, col: np.ndarray | None = None,
+              ) -> "SparseAdjacency":
+        """``diag(row) @ A @ diag(col)`` (either factor optional)."""
+        data = self.data
+        if row is not None:
+            data = data * np.asarray(row, dtype=np.float64)[self.rows]
+        if col is not None:
+            data = data * np.asarray(col, dtype=np.float64)[self.indices]
+        return SparseAdjacency(self.indptr, self.indices, data)
+
+    def gcn_normalized(self, add_self_loops: bool = True) -> "SparseAdjacency":
+        """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (cached).
+
+        Zero-degree rows (isolated nodes when ``add_self_loops=False``, or rows
+        whose weights sum to zero) get a zero inverse square root instead of a
+        division by zero, matching the dense :func:`normalize_adjacency` guard.
+        """
+        def build():
+            adj = self.with_self_loops() if add_self_loops else self
+            degree = adj.row_sums()
+            inv_sqrt = np.zeros_like(degree)
+            nonzero = degree > 0
+            inv_sqrt[nonzero] = degree[nonzero] ** -0.5
+            return adj.scale(row=inv_sqrt, col=inv_sqrt)
+        return self._memoized(("gcn_normalized", add_self_loops), build)
+
+    def mean_normalized(self) -> "SparseAdjacency":
+        """Row-stochastic binarized adjacency (zero-degree rows stay zero, cached).
+
+        Matches the seed GraphSAGE aggregation: ``(A > 0) / max(degree, 1)``.
+        """
+        def build():
+            binary = self.binarized()
+            degree = binary.row_sums()
+            degree[degree == 0] = 1.0
+            return binary.scale(row=1.0 / degree)
+        return self._memoized("mean_normalized", build)
+
+    def attention_structure(self) -> "SparseAdjacency":
+        """Edge set used by attention: positive entries plus self loops (cached)."""
+        return self._memoized("attention_structure",
+                              lambda: self.binarized().with_self_loops())
+
+    # ----------------------------------------------------------------- products
+    def _transpose_plan(self) -> tuple[np.ndarray, np.ndarray]:
+        """(permutation, indptr) that re-sorts stored entries by column.
+
+        ``contrib[perm]`` is column-sorted, so ``segment_reduce(contrib[perm],
+        t_indptr)`` scatters per-edge contributions into per-column outputs —
+        the kernel behind :meth:`rmatmul` and the backward pass of sparse
+        message passing.
+        """
+        def build():
+            perm = np.lexsort((self.rows, self.indices))
+            t_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(np.bincount(self.indices, minlength=self.num_nodes),
+                      out=t_indptr[1:])
+            return perm, t_indptr
+        return self._memoized("transpose_plan", build)
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a dense vector or matrix ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        contrib = self.data * x[self.indices] if x.ndim == 1 \
+            else self.data[:, None] * x[self.indices]
+        return segment_reduce(contrib, self.indptr)
+
+    def rmatmul(self, g: np.ndarray) -> np.ndarray:
+        """``A.T @ g`` for a dense vector or matrix ``g`` (no transpose copy)."""
+        g = np.asarray(g, dtype=np.float64)
+        contrib = self.data * g[self.rows] if g.ndim == 1 \
+            else self.data[:, None] * g[self.rows]
+        perm, t_indptr = self._transpose_plan()
+        return segment_reduce(contrib[perm], t_indptr)
+
+    def __repr__(self) -> str:
+        return f"SparseAdjacency(n={self.num_nodes}, nnz={self.nnz})"
