@@ -1,0 +1,150 @@
+"""Perf harness: batched end-to-end scoring through the `repro.api` facade.
+
+Measures the serving path — "addresses in, probabilities out" — of
+:class:`repro.api.DeAnonymizer` against the naive per-(address, head) loop it
+replaces:
+
+* ``batched``  — one ``score(addresses)`` call: every address is ego-sampled
+  and featurized exactly once, and all category heads share the resulting
+  subgraphs (and their memoized CSR normalisations);
+* ``naive``    — for every head, re-sample and re-featurize every address and
+  predict one sample at a time (cold caches, the pre-facade pattern).
+
+Both paths are asserted to produce bit-identical probabilities before timings
+are recorded.  Results (wall times, speedup, addresses/sec throughput) are
+written to ``BENCH_api.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_api.py                 # default scale
+    PYTHONPATH=src python benchmarks/perf_api.py --scale 0.15 --output /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import DeAnonymizer
+from repro.chain import LedgerConfig, generate_ledger
+from repro.core import CalibrationConfig, DBG4ETHConfig, GSGConfig, LDGConfig
+from repro.data import DatasetConfig
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_api.json"
+DEFAULT_CATEGORIES = ("exchange", "mining", "phish/hack")
+
+
+def serving_config(epochs: int) -> DBG4ETHConfig:
+    """A small but fully featured head configuration for the benchmark."""
+    return DBG4ETHConfig(
+        gsg=GSGConfig(hidden_dim=16, epochs=epochs, contrastive_batch=6),
+        ldg=LDGConfig(hidden_dim=16, epochs=epochs, num_slices=4, first_pool_clusters=6),
+        calibration=CalibrationConfig(),
+    )
+
+
+def naive_score(deanon: DeAnonymizer, addresses: list[str]) -> dict[str, dict[str, float]]:
+    """The pre-facade serving loop: sample + featurize per (address, head)."""
+    results: dict[str, dict[str, float]] = {address: {} for address in addresses}
+    for category in deanon.categories:
+        head = deanon.head(category)
+        for address in addresses:
+            sample = deanon.builder.build_sample(address)   # fresh: cold CSR caches
+            results[address][category] = float(head.predict_proba([sample])[0])
+    return results
+
+
+def run(scale: float = 0.3, num_addresses: int = 30, epochs: int = 4,
+        categories=DEFAULT_CATEGORIES, reps: int = 3, seed: int = 7,
+        output: Path | None = DEFAULT_OUTPUT) -> dict:
+    config = LedgerConfig().scaled(scale)
+    config.seed = seed
+    ledger = generate_ledger(config)
+    deanon = DeAnonymizer(ledger,
+                          dataset_config=DatasetConfig(top_k=40, max_nodes_per_subgraph=40,
+                                                       seed=seed),
+                          model_config=lambda: serving_config(epochs),
+                          seed=seed)
+
+    t0 = time.perf_counter()
+    deanon.fit(categories)
+    fit_seconds = time.perf_counter() - t0
+
+    # Score addresses drawn from the global graph (mix of labelled and not).
+    rng = np.random.default_rng(seed)
+    nodes = list(deanon.builder.graph.nodes)
+    addresses = [nodes[i] for i in rng.permutation(len(nodes))[:num_addresses]]
+
+    # Parity first: the batched facade path must equal the naive loop bit-for-bit.
+    expected = naive_score(deanon, addresses)
+    deanon.clear_sample_cache()                  # cold start for the timed runs
+    batched = deanon.score(addresses)
+    for address in addresses:
+        for category, probability in expected[address].items():
+            assert batched[address][category] == probability, (
+                f"parity violated for {address} / {category}: "
+                f"{batched[address][category]} != {probability}")
+
+    best_naive = float("inf")
+    best_batched = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        naive_score(deanon, addresses)
+        best_naive = min(best_naive, time.perf_counter() - t0)
+
+        deanon.clear_sample_cache()
+        t0 = time.perf_counter()
+        deanon.score(addresses)
+        best_batched = min(best_batched, time.perf_counter() - t0)
+
+    results = {
+        "config": {"scale": scale, "num_addresses": num_addresses, "epochs": epochs,
+                   "categories": list(categories), "reps": reps, "seed": seed,
+                   "num_transactions": ledger.num_transactions,
+                   "num_graph_nodes": deanon.builder.graph.num_nodes},
+        "fit_seconds": fit_seconds,
+        "batched_seconds": best_batched,
+        "naive_seconds": best_naive,
+        "speedup": best_naive / best_batched,
+        "batched_addresses_per_second": num_addresses / best_batched,
+        "naive_addresses_per_second": num_addresses / best_naive,
+    }
+    print(f"[{num_addresses} addresses x {len(categories)} heads] "
+          f"batched {best_batched * 1e3:7.1f} ms ({results['batched_addresses_per_second']:6.1f} addr/s) | "
+          f"naive {best_naive * 1e3:7.1f} ms | speedup {results['speedup']:.2f}x")
+    if output is not None:
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {output}")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="ledger scale multiplier (default 0.3)")
+    parser.add_argument("--addresses", type=int, default=30,
+                        help="batch size of the scoring request (default 30)")
+    parser.add_argument("--epochs", type=int, default=4,
+                        help="training epochs per head (default 4)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="best-of repetitions per measurement")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="path of the JSON results file")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless batched scoring beats the naive loop "
+                             "by this factor")
+    args = parser.parse_args()
+    results = run(scale=args.scale, num_addresses=args.addresses, epochs=args.epochs,
+                  reps=args.reps, output=args.output)
+    if args.min_speedup is not None:
+        assert results["speedup"] >= args.min_speedup, (
+            f"batched scoring speedup {results['speedup']:.2f}x below "
+            f"{args.min_speedup}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,9 +3,10 @@
 The cryptocurrency market keeps producing new account roles.  The paper adds
 two novel categories — cross-chain bridges and DeFi users — and shows that
 DBG4ETH reaches near-perfect accuracy with only 20-30% of the labels.  This
-example repeats that study on the synthetic ledger: for each novel category it
-sweeps the training fraction and reports how quickly the F1-score saturates
-(the Figure 8 experiment).
+example repeats that study on the synthetic ledger through the
+:class:`repro.DeAnonymizer` facade: the training-size sweep fits one facade
+head per fraction (the Figure 8 experiment), and a final full-data facade
+demonstrates the serving path — ``score()`` over bridge/DeFi addresses.
 
 Run with::
 
@@ -14,16 +15,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro.chain import AccountCategory, LedgerConfig, generate_ledger
-from repro.data import DatasetConfig, SubgraphDatasetBuilder
+from repro import DeAnonymizer, LedgerConfig, generate_ledger
+from repro.chain import AccountCategory
+from repro.data import DatasetConfig
 from repro.experiments.runner import fast_dbg4eth_config, run_training_size_sweep
 
 
 def main() -> None:
     print("Generating ledger with bridge and DeFi activity ...")
     ledger = generate_ledger(LedgerConfig().scaled(0.4))
-    dataset = SubgraphDatasetBuilder(
-        ledger, DatasetConfig(top_k=50, max_nodes_per_subgraph=45)).build()
+    deanon = DeAnonymizer(ledger,
+                          dataset_config=DatasetConfig(top_k=50, max_nodes_per_subgraph=45),
+                          model_config=lambda: fast_dbg4eth_config(epochs=6))
+    dataset = deanon.dataset
 
     fractions = (0.1, 0.2, 0.3, 0.4, 0.5)
     for category in (AccountCategory.BRIDGE, AccountCategory.DEFI):
@@ -40,6 +44,15 @@ def main() -> None:
         saturation = next((f for f in fractions if results[f]["f1"] >= 0.95 * results[fractions[-1]]["f1"]),
                           fractions[-1])
         print(f"F1 reaches 95% of its final value with only {saturation:.0%} of the labels.")
+
+    print("\nServing both novel categories from one facade (full data) ...")
+    deanon.fit([AccountCategory.BRIDGE, AccountCategory.DEFI])
+    bridge_addresses = [s.center for s in dataset if s.category == "bridge"][:3]
+    defi_addresses = [s.center for s in dataset if s.category == "defi"][:3]
+    for address, per_category in deanon.score(bridge_addresses + defi_addresses).items():
+        truth = ledger.labels.get(address)
+        formatted = ", ".join(f"P({name})={p:.3f}" for name, p in sorted(per_category.items()))
+        print(f"  {address}  {formatted}  true: {truth.value if truth else 'unlabeled'}")
 
 
 if __name__ == "__main__":

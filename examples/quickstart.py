@@ -1,52 +1,78 @@
-"""Quickstart: classify Ethereum accounts with DBG4ETH on a synthetic ledger.
+"""Quickstart: address in, prediction out with the `DeAnonymizer` facade.
 
-Generates a small synthetic Ethereum ledger, builds the account-centred
-subgraph dataset, trains DBG4ETH on the ``exchange`` one-vs-rest task and
-prints held-out precision / recall / F1 / accuracy plus the adaptive
-calibration weights of both branches.
+The serving-grade flow of the reproduction in five steps:
+
+1. generate a small synthetic Ethereum ledger;
+2. construct a :class:`repro.DeAnonymizer` from it — the facade owns the whole
+   pipeline (global graph build, 2-hop top-K ego sampling, single-pass deep
+   feature extraction, GSG + LDG encoding, joint calibration, classification);
+3. ``fit()`` a one-vs-rest head for the ``exchange`` category, evaluated on a
+   held-out split;
+4. ``save()`` the trained model (npz weights + json manifest) and ``load()``
+   it into a fresh facade, as a server process would;
+5. ``score(addresses)`` raw addresses end-to-end and print the per-category
+   probabilities — including for accounts the model never trained on.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--scale 0.4]
 """
 
 from __future__ import annotations
 
-from repro import DBG4ETH
-from repro.chain import LedgerConfig, generate_ledger
-from repro.data import DatasetConfig, SubgraphDatasetBuilder, train_test_split
+import argparse
+import tempfile
+
+from repro import DeAnonymizer, LedgerConfig, generate_ledger
+from repro.data import DatasetConfig, train_test_split
 from repro.experiments.runner import fast_dbg4eth_config
 from repro.metrics import classification_report
 
 
-def main() -> None:
+def main(scale: float = 0.4) -> None:
     print("1. Generating a synthetic Ethereum ledger ...")
-    ledger = generate_ledger(LedgerConfig().scaled(0.4))
+    ledger = generate_ledger(LedgerConfig().scaled(scale))
     summary = ledger.summary()
     print(f"   {summary['num_accounts']} accounts, {summary['num_transactions']} transactions, "
           f"{summary['num_labeled']} labelled accounts")
 
-    print("2. Building account-centred subgraphs (2-hop, top-K sampling) ...")
-    dataset = SubgraphDatasetBuilder(
-        ledger, DatasetConfig(top_k=60, max_nodes_per_subgraph=50)).build()
+    print("2. Constructing the DeAnonymizer facade (2-hop, top-K sampling) ...")
+    deanon = DeAnonymizer(ledger,
+                          dataset_config=DatasetConfig(top_k=60, max_nodes_per_subgraph=50),
+                          model_config=lambda: fast_dbg4eth_config(epochs=8))
+    dataset = deanon.dataset
     print(f"   {len(dataset)} subgraph samples across categories {dataset.categories()}")
 
-    print("3. Training DBG4ETH on the 'exchange' one-vs-rest task ...")
+    print("3. Training the 'exchange' one-vs-rest head on a 70% split ...")
     samples, labels = dataset.binary_task("exchange")
     train_s, train_y, test_s, test_y = train_test_split(samples, labels, test_fraction=0.3)
-    model = DBG4ETH(fast_dbg4eth_config(epochs=8))
-    model.fit(train_s, train_y)
+    deanon.fit_category("exchange", train_s, train_y)
 
     print("4. Evaluating on the held-out split ...")
-    report = classification_report(test_y, model.predict(test_s))
+    report = classification_report(test_y, deanon.predict_samples("exchange", test_s))
     for metric, value in report.items():
         print(f"   {metric:>9}: {value * 100:6.2f}%")
 
-    print("5. Adaptive calibration weights (Eq. 24-25):")
-    for branch, weights in model.calibration_weights().items():
+    print("5. save() -> load() round trip, then scoring raw addresses ...")
+    with tempfile.TemporaryDirectory() as model_dir:
+        deanon.save(model_dir)
+        served = DeAnonymizer.load(model_dir, ledger)
+        addresses = [sample.center for sample in test_s[:5]]
+        scores = served.score(addresses)
+        for address, per_category in scores.items():
+            truth = ledger.labels.get(address)
+            label = truth.value if truth else "unlabeled"
+            print(f"   {address}  P(exchange)={per_category['exchange']:.3f}  "
+                  f"true: {label}")
+
+    print("6. Adaptive calibration weights of the exchange head (Eq. 24-25):")
+    for branch, weights in deanon.head("exchange").calibration_weights().items():
         formatted = ", ".join(f"{name}={weight:+.2f}" for name, weight in weights.items())
         print(f"   {branch.upper()}: {formatted}")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="ledger scale multiplier (smaller = faster; CI uses 0.15)")
+    main(parser.parse_args().scale)

@@ -8,13 +8,16 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every reproduced table and figure.
 """
 
+from repro.api import DeAnonymizer, UnknownAddressError
 from repro.chain import LedgerConfig, generate_ledger, AccountCategory
 from repro.core import DBG4ETH, DBG4ETHConfig
 from repro.data import DatasetConfig, SubgraphDataset, SubgraphDatasetBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DeAnonymizer",
+    "UnknownAddressError",
     "DBG4ETH",
     "DBG4ETHConfig",
     "LedgerConfig",

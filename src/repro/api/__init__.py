@@ -1,0 +1,26 @@
+"""Serving-grade public API: the DeAnonymizer facade and model persistence.
+
+This is the layer a production deployment talks to::
+
+    from repro.api import DeAnonymizer
+
+    deanon = DeAnonymizer(ledger).fit()          # train every category head
+    deanon.score(["0xabc..."])                   # address in, probabilities out
+    deanon.save("model_dir")                     # npz weights + json manifest
+    DeAnonymizer.load("model_dir", ledger)       # restore in a server process
+
+Everything underneath (graph sampling, feature extraction, the GSG/LDG
+branches, calibration, classification) stays importable for research use; the
+facade only orchestrates it.
+"""
+
+from repro.api.deanonymizer import DeAnonymizer, UnknownAddressError
+from repro.api.persistence import StateFormatError, load_state, save_state
+
+__all__ = [
+    "DeAnonymizer",
+    "UnknownAddressError",
+    "save_state",
+    "load_state",
+    "StateFormatError",
+]

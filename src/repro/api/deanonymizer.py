@@ -1,0 +1,328 @@
+"""Address-in, prediction-out: the serving facade over the DBG4ETH pipeline.
+
+:class:`DeAnonymizer` owns the full paper pipeline behind a two-call surface —
+``fit()`` then ``score(addresses)``:
+
+* **construction** from a :class:`~repro.chain.ledger.Ledger` (the facade
+  builds the global transaction graph, the feature extractor and the subgraph
+  dataset itself) or, via :meth:`from_dataset`, from an already-built
+  :class:`~repro.data.dataset.SubgraphDataset`;
+* **training** of one one-vs-rest DBG4ETH head per account category;
+* **serving**: ``score(addresses)`` goes end-to-end — on-demand 2-hop ego
+  sampling, single-pass feature extraction, cached-CSR branch encoding,
+  calibration and classification — for raw addresses the model has never seen;
+* **persistence**: ``save(path)`` / ``DeAnonymizer.load(path, ledger)`` write
+  and restore every head bit-for-bit (npz weights + json manifest).
+
+Batched execution: a request for N addresses samples and featurizes each
+address exactly once; the resulting :class:`AccountSubgraph` objects (and the
+CSR adjacency / time-slice caches memoized on them) are then shared by every
+category head, so per-head inference costs only the branch forward passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.api.persistence import load_state, save_state
+from repro.chain.labelcloud import AccountCategory
+from repro.chain.ledger import Ledger
+from repro.core.model import DBG4ETH, DBG4ETHConfig
+from repro.data.dataset import (
+    AccountSubgraph,
+    DatasetConfig,
+    SubgraphDataset,
+    SubgraphDatasetBuilder,
+)
+
+__all__ = ["DeAnonymizer", "UnknownAddressError"]
+
+
+class UnknownAddressError(KeyError):
+    """Raised when an address cannot be sampled from the transaction graph."""
+
+    def __init__(self, address: str):
+        self.address = address
+        super().__init__(
+            f"address {address!r} has no submitted transactions in the ledger's "
+            f"transaction graph, so no account subgraph can be sampled for it")
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+def _category_name(category) -> str:
+    """Normalise a category argument (enum, known string or free-form string)."""
+    try:
+        return AccountCategory(category).value
+    except ValueError:
+        return str(category)
+
+
+class DeAnonymizer:
+    """Serving-grade facade: fit one-vs-rest heads, score raw addresses.
+
+    Usage::
+
+        deanon = DeAnonymizer(ledger)
+        deanon.fit(["exchange", "phish/hack"])
+        deanon.score(["0xabc...", "0xdef..."])
+        # {'0xabc...': {'exchange': 0.93, 'phish/hack': 0.04}, ...}
+        deanon.save("model_dir")
+        served = DeAnonymizer.load("model_dir", ledger)
+
+    ``model_config`` may be a :class:`DBG4ETHConfig` (shared by every head) or
+    a zero-argument factory returning one (a fresh config per head).
+    """
+
+    def __init__(self, ledger: Ledger | None = None,
+                 dataset_config: DatasetConfig | None = None,
+                 model_config: DBG4ETHConfig | Callable[[], DBG4ETHConfig] | None = None,
+                 seed: int = 0):
+        self.ledger = ledger
+        self.dataset_config = dataset_config or DatasetConfig()
+        self.model_config = model_config
+        self.seed = seed
+        self._builder: SubgraphDatasetBuilder | None = None
+        self._dataset: SubgraphDataset | None = None
+        self._heads: dict[str, DBG4ETH] = {}
+        self._samples: dict[str, AccountSubgraph] = {}
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_dataset(cls, dataset: SubgraphDataset, ledger: Ledger | None = None,
+                     dataset_config: DatasetConfig | None = None,
+                     model_config: DBG4ETHConfig | Callable[[], DBG4ETHConfig] | None = None,
+                     seed: int = 0) -> "DeAnonymizer":
+        """Wrap an already-built dataset (its samples seed the serving cache).
+
+        Pass the ledger as well if addresses beyond the dataset's centre
+        accounts should be scorable — and then ``dataset_config`` is required,
+        because on-demand samples must be drawn with the same sampling
+        parameters the dataset was built with (a silent default would hand the
+        heads out-of-distribution subgraphs).
+        """
+        if ledger is not None and dataset_config is None:
+            raise ValueError(
+                "from_dataset() with a ledger requires the dataset_config the "
+                "dataset was built with, so on-demand samples match the training "
+                "distribution")
+        instance = cls(ledger=ledger, dataset_config=dataset_config,
+                       model_config=model_config, seed=seed)
+        instance._dataset = dataset
+        instance._samples = {sample.center: sample for sample in dataset}
+        return instance
+
+    def attach_ledger(self, ledger: Ledger) -> "DeAnonymizer":
+        """Attach (or replace) the ledger used for on-demand subgraph sampling.
+
+        Cached subgraphs and the training dataset belong to the previous
+        ledger, so they are dropped along with the builder.
+        """
+        self.ledger = ledger
+        self._builder = None
+        self._dataset = None
+        self._samples = {}
+        return self
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def builder(self) -> SubgraphDatasetBuilder:
+        """The sampling/feature pipeline over the attached ledger."""
+        if self._builder is None:
+            if self.ledger is None:
+                raise RuntimeError(
+                    "this DeAnonymizer has no ledger attached; construct it with a "
+                    "ledger, or call attach_ledger() after load()")
+            self._builder = SubgraphDatasetBuilder(self.ledger, self.dataset_config)
+        return self._builder
+
+    @property
+    def dataset(self) -> SubgraphDataset:
+        """The training dataset (built from the ledger on first use)."""
+        if self._dataset is None:
+            self._dataset = self.builder.build()
+            for sample in self._dataset:
+                self._samples.setdefault(sample.center, sample)
+        return self._dataset
+
+    @property
+    def categories(self) -> list[str]:
+        """The categories with a fitted head, sorted."""
+        return sorted(self._heads)
+
+    def _head_config(self) -> DBG4ETHConfig:
+        if self.model_config is None:
+            return DBG4ETHConfig()
+        if callable(self.model_config):
+            return self.model_config()
+        return self.model_config
+
+    def _check_fitted(self) -> None:
+        if not self._heads:
+            raise RuntimeError("DeAnonymizer has no fitted heads; call fit() first")
+
+    # -------------------------------------------------------------- training
+    def fit(self, categories: Iterable | None = None) -> "DeAnonymizer":
+        """Train one one-vs-rest head per category (all dataset categories by default)."""
+        names = ([_category_name(c) for c in categories] if categories is not None
+                 else self.dataset.categories())
+        if not names:
+            raise ValueError("no categories to fit")
+        for name in names:
+            self.fit_category(name)
+        return self
+
+    def fit_category(self, category, samples: Sequence[AccountSubgraph] | None = None,
+                     labels=None) -> "DeAnonymizer":
+        """Train a single head.
+
+        Without explicit ``samples``/``labels`` the head trains on the
+        dataset's balanced one-vs-rest task for ``category``; with them (the
+        experiment-runner path) the dataset is not touched at all.
+        """
+        name = _category_name(category)
+        if samples is None:
+            samples, labels = self.dataset.binary_task(
+                name, rng=np.random.default_rng(self.seed))
+        elif labels is None:
+            raise ValueError("labels are required when samples are given")
+        head = DBG4ETH(self._head_config())
+        head.fit(list(samples), labels)
+        self._heads[name] = head
+        return self
+
+    def head(self, category) -> DBG4ETH:
+        """The fitted head for ``category`` (raises KeyError if not fitted)."""
+        name = _category_name(category)
+        if name not in self._heads:
+            raise KeyError(
+                f"no fitted head for category {name!r}; fitted: {self.categories}")
+        return self._heads[name]
+
+    # --------------------------------------------------------------- serving
+    def sample_for(self, address: str) -> AccountSubgraph:
+        """The account subgraph for ``address`` (sampled once, then cached).
+
+        Raises :class:`UnknownAddressError` when the address has no presence in
+        the transaction graph (never transacted, or all its transactions were
+        filtered out).
+        """
+        if address in self._samples:
+            return self._samples[address]
+        builder = self.builder
+        if address not in builder.graph:
+            raise UnknownAddressError(address)
+        sample = builder.build_sample(address)
+        self._samples[address] = sample
+        return sample
+
+    def clear_sample_cache(self) -> None:
+        """Drop every cached subgraph sample (e.g. to bound server memory)."""
+        self._samples.clear()
+
+    def score(self, addresses: str | Sequence[str]) -> dict[str, dict[str, float]]:
+        """Per-category probabilities for raw addresses, end-to-end and batched.
+
+        Sampling and feature extraction run once per distinct address; every
+        head then scores the same cached subgraph objects, reusing their
+        memoized CSR adjacency and time-slice normalisations.
+        Returns ``{address: {category: probability}}``.
+        """
+        self._check_fitted()
+        if isinstance(addresses, str):
+            addresses = [addresses]
+        addresses = list(addresses)
+        unique = list(dict.fromkeys(addresses))
+        samples = [self.sample_for(address) for address in unique]
+        per_head = {name: head.predict_proba(samples)
+                    for name, head in self._heads.items()}
+        index = {address: i for i, address in enumerate(unique)}
+        return {address: {name: float(per_head[name][index[address]])
+                          for name in self._heads}
+                for address in addresses}
+
+    def score_all(self) -> dict[str, dict[str, float]]:
+        """Score every account in the transaction graph (or, without a ledger,
+        every cached dataset sample)."""
+        self._check_fitted()
+        if self.ledger is not None:
+            addresses = list(self.builder.graph.nodes)
+        else:
+            addresses = list(self._samples)
+        return self.score(addresses)
+
+    def predict(self, addresses: str | Sequence[str],
+                threshold: float = 0.5) -> dict[str, str | None]:
+        """The most probable category per address, or ``None`` below ``threshold``."""
+        scores = self.score(addresses)
+        predictions: dict[str, str | None] = {}
+        for address, per_category in scores.items():
+            best = max(per_category, key=per_category.get)
+            predictions[address] = best if per_category[best] >= threshold else None
+        return predictions
+
+    # ----------------------------------------------------- sample-level API
+    def score_samples(self, samples: Sequence[AccountSubgraph],
+                      category=None) -> np.ndarray | dict[str, np.ndarray]:
+        """Head probabilities for pre-built subgraph samples.
+
+        With ``category`` returns that head's ``(n,)`` probability array;
+        without it, a ``{category: probabilities}`` dict over all heads.
+        """
+        self._check_fitted()
+        samples = list(samples)
+        if category is not None:
+            return self.head(category).predict_proba(samples)
+        return {name: head.predict_proba(samples) for name, head in self._heads.items()}
+
+    def predict_samples(self, category, samples: Sequence[AccountSubgraph]) -> np.ndarray:
+        """Binary one-vs-rest predictions of one head for pre-built samples."""
+        self._check_fitted()
+        return self.head(category).predict(list(samples))
+
+    # ------------------------------------------------------------ persistence
+    def get_state(self) -> dict:
+        """The persistable state: sampling config + every head's full state."""
+        self._check_fitted()
+        return {
+            "kind": "DeAnonymizer",
+            "seed": int(self.seed),
+            "dataset_config": asdict(self.dataset_config),
+            "heads": {name: head.get_state() for name, head in self._heads.items()},
+        }
+
+    def set_state(self, state: dict) -> "DeAnonymizer":
+        """Restore fitted heads and sampling config from :meth:`get_state` output."""
+        if state.get("kind") != "DeAnonymizer":
+            raise ValueError(f"state is not a DeAnonymizer state (kind={state.get('kind')!r})")
+        self.seed = int(state["seed"])
+        self.dataset_config = DatasetConfig(**state["dataset_config"])
+        # Subgraphs sampled under the previous dataset_config (or for previous
+        # heads) must not be served to the restored model.
+        self._builder = None
+        self._dataset = None
+        self._samples = {}
+        self._heads = {name: DBG4ETH.from_state(head_state)
+                       for name, head_state in state["heads"].items()}
+        return self
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the fitted model to ``path`` (a directory; npz + json)."""
+        return save_state(path, self.get_state())
+
+    @classmethod
+    def load(cls, path: str | Path, ledger: Ledger | None = None) -> "DeAnonymizer":
+        """Restore a model saved with :meth:`save`.
+
+        Scoring raw addresses needs a ledger — pass it here or call
+        :meth:`attach_ledger` later (e.g. once the serving process has its own
+        chain connection).
+        """
+        instance = cls(ledger=ledger)
+        instance.set_state(load_state(path))
+        return instance

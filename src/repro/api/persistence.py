@@ -1,0 +1,112 @@
+"""npz+json state persistence for fitted models.
+
+A *state* is the nested structure returned by the ``get_state()`` methods
+threaded through the model stack: dicts with string keys, lists/tuples,
+scalars (int/float/bool/str/None) and numpy arrays.  :func:`save_state`
+splits it into two files inside a model directory —
+
+* ``state.json`` — the structure itself, with every numpy array replaced by a
+  ``{"__ndarray__": "arr_<i>"}`` placeholder (and tuples tagged so they
+  round-trip as tuples);
+* ``arrays.npz`` — the array payloads, keyed by placeholder name.
+
+Arrays round-trip bit-for-bit (npz stores raw dtype bytes) and JSON floats
+round-trip exactly (``json`` emits ``repr``-style shortest representations),
+so a model restored with :func:`load_state` reproduces its predictions
+bit-for-bit.  The split keeps the manifest human-readable — configs, class
+names and calibration weights can be inspected with any text editor — while
+the weight tensors stay binary.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_state", "load_state", "StateFormatError"]
+
+_ARRAY_TAG = "__ndarray__"
+_TUPLE_TAG = "__tuple__"
+STATE_FILE = "state.json"
+ARRAYS_FILE = "arrays.npz"
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class StateFormatError(ValueError):
+    """Raised when a model directory does not hold a readable state."""
+
+
+def _encode(value, arrays: dict[str, np.ndarray]):
+    """Recursively convert ``value`` into a json-able tree, extracting arrays."""
+    if isinstance(value, np.ndarray):
+        key = f"arr_{len(arrays)}"
+        arrays[key] = value
+        return {_ARRAY_TAG: key}
+    if isinstance(value, np.generic):          # numpy scalar -> python scalar
+        return value.item()
+    if isinstance(value, dict):
+        encoded = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise StateFormatError(f"state dict keys must be strings, got {k!r}")
+            if k in (_ARRAY_TAG, _TUPLE_TAG):
+                raise StateFormatError(f"state dict key {k!r} collides with a tag")
+            encoded[k] = _encode(v, arrays)
+        return encoded
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v, arrays) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise StateFormatError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def _decode(value, arrays):
+    if isinstance(value, dict):
+        if set(value) == {_ARRAY_TAG}:
+            return arrays[value[_ARRAY_TAG]]
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(_decode(v, arrays) for v in value[_TUPLE_TAG])
+        return {k: _decode(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v, arrays) for v in value]
+    return value
+
+
+def save_state(path: str | Path, state: dict) -> Path:
+    """Write ``state`` into directory ``path`` as ``state.json`` + ``arrays.npz``.
+
+    The directory is created if needed; existing state files are overwritten.
+    Returns the directory path.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    document = {"format_version": FORMAT_VERSION, "state": _encode(state, arrays)}
+    (path / STATE_FILE).write_text(json.dumps(document, indent=2, sort_keys=False))
+    with open(path / ARRAYS_FILE, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def load_state(path: str | Path) -> dict:
+    """Read a state previously written by :func:`save_state`."""
+    path = Path(path)
+    state_file = path / STATE_FILE
+    arrays_file = path / ARRAYS_FILE
+    if not state_file.exists() or not arrays_file.exists():
+        raise StateFormatError(
+            f"{path} is not a model directory (expected {STATE_FILE} and {ARRAYS_FILE})")
+    document = json.loads(state_file.read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StateFormatError(
+            f"unsupported state format version {version!r} (this build reads {FORMAT_VERSION})")
+    with np.load(arrays_file) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    return _decode(document["state"], arrays)

@@ -58,8 +58,7 @@ class _TrainedGNNBaseline(BaselineClassifier):
             mean, std = self._feature_stats
             return (sample.node_features - mean) / std
         # Structure-only variant ("w/o node feature" rows): degree + constant.
-        adjacency = sample.adjacency()
-        degrees = adjacency.sum(axis=1, keepdims=True)
+        degrees = sample.adjacency_sparse().row_sums().reshape(-1, 1)
         return np.hstack([np.ones_like(degrees), degrees / max(degrees.max(), 1.0)])
 
     def _input_dim(self, sample: AccountSubgraph) -> int:
@@ -109,9 +108,13 @@ class _StackedGNN(Module):
         self.head = Linear(hidden_dim, 1, rng=rng)
 
     def forward(self, features: np.ndarray, sample: AccountSubgraph) -> Tensor:
-        adjacency = sample.adjacency(weighted=self.weighted_adjacency)
-        if self.weighted_adjacency and adjacency.max() > 0:
-            adjacency = np.log1p(adjacency)
+        # The sample's cached CSR adjacency: every epoch (and every baseline
+        # sharing the sample) reuses the same memoized normalisations instead
+        # of converting a dense matrix per call.  ``log_scale`` reproduces the
+        # seed's ``np.log1p`` damping of amount-weighted adjacencies exactly
+        # (amounts are non-negative, so the non-zero structure is unchanged).
+        adjacency = sample.adjacency_sparse(weighted=self.weighted_adjacency,
+                                            log_scale=self.weighted_adjacency)
         h = Tensor(features)
         for layer in self.layers:
             h = layer(h, adjacency)
@@ -181,7 +184,7 @@ class _APPNPNetwork(Module):
 
     def forward(self, features: np.ndarray, sample: AccountSubgraph) -> Tensor:
         h0 = relu(self.fc2(relu(self.fc1(Tensor(features)))))
-        propagated = self.propagation(h0, sample.adjacency())
+        propagated = self.propagation(h0, sample.adjacency_sparse())
         return self.head(global_mean_pool(propagated))
 
 
@@ -234,7 +237,7 @@ class _EthidentNetwork(Module):
 
     def forward(self, features: np.ndarray, sample: AccountSubgraph) -> Tensor:
         aligned = relu(self.align(Tensor(features)))
-        return self.head(self.encoder(aligned, sample.adjacency()))
+        return self.head(self.encoder(aligned, sample.adjacency_sparse()))
 
 
 class EthidentClassifier(_TrainedGNNBaseline):
@@ -260,7 +263,7 @@ class _TEGDetectorNetwork(Module):
         self.head = Linear(hidden_dim, 1, rng=rng)
 
     def forward(self, features: np.ndarray, sample: AccountSubgraph) -> Tensor:
-        slices = sample.time_slices(self.num_slices, weighted=False)
+        slices = sample.time_slices(self.num_slices, weighted=False, sparse=True)
         hidden = relu(self.input_proj(Tensor(features)))
         weights = softmax(self.time_logits.reshape(1, -1), axis=1)
         pooled_sum = None

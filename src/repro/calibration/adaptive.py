@@ -88,3 +88,39 @@ class AdaptiveCalibrator:
         if self.report is None:
             raise RuntimeError("AdaptiveCalibrator has not been fitted")
         return dict(self.report.weights)
+
+    def get_state(self) -> dict:
+        """Serializable fitted state: report diagnostics plus per-method states."""
+        if self.report is None:
+            raise RuntimeError("AdaptiveCalibrator has not been fitted")
+        return {
+            "num_bins": int(self.num_bins),
+            "report": {
+                "uncalibrated_ece": float(self.report.uncalibrated_ece),
+                "method_ece": {k: float(v) for k, v in self.report.method_ece.items()},
+                "ece_reduction": {k: float(v) for k, v in self.report.ece_reduction.items()},
+                "weights": {k: float(v) for k, v in self.report.weights.items()},
+            },
+            "calibrators": {name: cal.get_state() for name, cal in self.calibrators.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdaptiveCalibrator":
+        """Rebuild a fitted instance; method names resolve via ``default_calibrators``."""
+        from repro.calibration import default_calibrators
+
+        registry = default_calibrators()
+        calibrators = {}
+        for name, cal_state in state["calibrators"].items():
+            if name not in registry:
+                raise ValueError(f"unknown calibration method {name!r} in state")
+            calibrators[name] = registry[name].set_state(cal_state)
+        instance = cls(calibrators, num_bins=int(state["num_bins"]))
+        report = state["report"]
+        instance.report = CalibrationReport(
+            uncalibrated_ece=float(report["uncalibrated_ece"]),
+            method_ece={k: float(v) for k, v in report["method_ece"].items()},
+            ece_reduction={k: float(v) for k, v in report["ece_reduction"].items()},
+            weights={k: float(v) for k, v in report["weights"].items()},
+        )
+        return instance

@@ -47,6 +47,16 @@ class HistogramBinning(Calibrator):
         bins = np.minimum((confidences * self.num_bins).astype(int), self.num_bins - 1)
         return self._bin_values[bins]
 
+    def get_state(self) -> dict:
+        if self._bin_values is None:
+            raise RuntimeError("calibrator has not been fitted")
+        return {"num_bins": int(self.num_bins), "bin_values": np.asarray(self._bin_values)}
+
+    def set_state(self, state: dict) -> "HistogramBinning":
+        self.num_bins = int(state["num_bins"])
+        self._bin_values = np.asarray(state["bin_values"], dtype=float)
+        return self
+
 
 class IsotonicCalibration(Calibrator):
     """Isotonic regression via the pool-adjacent-violators algorithm (PAVA)."""
@@ -90,6 +100,16 @@ class IsotonicCalibration(Calibrator):
             raise RuntimeError("calibrator has not been fitted")
         confidences = np.asarray(confidences, dtype=float)
         return np.interp(confidences, self._x, self._y)
+
+    def get_state(self) -> dict:
+        if self._x is None or self._y is None:
+            raise RuntimeError("calibrator has not been fitted")
+        return {"x": np.asarray(self._x), "y": np.asarray(self._y)}
+
+    def set_state(self, state: dict) -> "IsotonicCalibration":
+        self._x = np.asarray(state["x"], dtype=float)
+        self._y = np.asarray(state["y"], dtype=float)
+        return self
 
 
 class BBQCalibration(Calibrator):
@@ -157,3 +177,16 @@ class BBQCalibration(Calibrator):
                            0, len(bin_probs) - 1)
             result += weight * bin_probs[bins]
         return result
+
+    def get_state(self) -> dict:
+        if not self._models:
+            raise RuntimeError("calibrator has not been fitted")
+        return {"models": [{"edges": np.asarray(edges), "probs": np.asarray(probs),
+                            "weight": float(weight)}
+                           for edges, probs, weight in self._models]}
+
+    def set_state(self, state: dict) -> "BBQCalibration":
+        self._models = [(np.asarray(m["edges"], dtype=float),
+                         np.asarray(m["probs"], dtype=float), float(m["weight"]))
+                        for m in state["models"]]
+        return self

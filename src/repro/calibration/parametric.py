@@ -20,7 +20,11 @@ def _nll(probabilities: np.ndarray, labels: np.ndarray) -> float:
 
 
 class Calibrator:
-    """Common interface: ``fit(confidences, labels)`` then ``transform(confidences)``."""
+    """Common interface: ``fit(confidences, labels)`` then ``transform(confidences)``.
+
+    Every calibrator also supports ``get_state()`` / ``set_state(state)`` so a
+    fitted instance can be persisted (the state is a json/npz-friendly dict).
+    """
 
     name = "calibrator"
 
@@ -32,6 +36,12 @@ class Calibrator:
 
     def fit_transform(self, confidences, labels) -> np.ndarray:
         return self.fit(confidences, labels).transform(confidences)
+
+    def get_state(self) -> dict:
+        raise NotImplementedError
+
+    def set_state(self, state: dict) -> "Calibrator":
+        raise NotImplementedError
 
     @staticmethod
     def _validate(confidences, labels) -> tuple[np.ndarray, np.ndarray]:
@@ -75,6 +85,13 @@ class TemperatureScaling(Calibrator):
         logits = np.log(confidences) - np.log(1.0 - confidences)
         return 1.0 / (1.0 + np.exp(-logits / self.temperature))
 
+    def get_state(self) -> dict:
+        return {"temperature": float(self.temperature)}
+
+    def set_state(self, state: dict) -> "TemperatureScaling":
+        self.temperature = float(state["temperature"])
+        return self
+
 
 class LogisticCalibration(Calibrator):
     """Platt scaling: fit ``sigmoid(a * logit + b)`` by maximum likelihood."""
@@ -103,6 +120,14 @@ class LogisticCalibration(Calibrator):
         logits = np.log(confidences) - np.log(1.0 - confidences)
         z = np.clip(self.slope * logits + self.intercept, -30.0, 30.0)
         return 1.0 / (1.0 + np.exp(-z))
+
+    def get_state(self) -> dict:
+        return {"slope": float(self.slope), "intercept": float(self.intercept)}
+
+    def set_state(self, state: dict) -> "LogisticCalibration":
+        self.slope = float(state["slope"])
+        self.intercept = float(state["intercept"])
+        return self
 
 
 class BetaCalibration(Calibrator):
@@ -134,3 +159,12 @@ class BetaCalibration(Calibrator):
         p = _clip01(confidences)
         z = np.clip(self.a * np.log(p) - self.b * np.log(1.0 - p) + self.c, -30.0, 30.0)
         return 1.0 / (1.0 + np.exp(-z))
+
+    def get_state(self) -> dict:
+        return {"a": float(self.a), "b": float(self.b), "c": float(self.c)}
+
+    def set_state(self, state: dict) -> "BetaCalibration":
+        self.a = float(state["a"])
+        self.b = float(state["b"])
+        self.c = float(state["c"])
+        return self

@@ -80,6 +80,22 @@ class _BranchCalibrator:
             return {}
         return self._adaptive.weights()
 
+    def get_state(self) -> dict:
+        if self._mean is None:
+            raise RuntimeError("branch calibrator has not been fitted")
+        return {
+            "mean": float(self._mean),
+            "std": float(self._std),
+            "adaptive": None if self._adaptive is None else self._adaptive.get_state(),
+        }
+
+    def set_state(self, state: dict) -> "_BranchCalibrator":
+        self._mean = float(state["mean"])
+        self._std = float(state["std"])
+        adaptive = state.get("adaptive")
+        self._adaptive = None if adaptive is None else AdaptiveCalibrator.from_state(adaptive)
+        return self
+
 
 class JointCalibrationModule:
     """Calibrate the GSG and LDG predicted values into trustworthy probabilities.
@@ -114,3 +130,14 @@ class JointCalibrationModule:
     def weights(self) -> dict[str, dict[str, float]]:
         """Per-branch adaptive calibration weights (the Figure 6 quantities)."""
         return {"gsg": self._gsg.weights(), "ldg": self._ldg.weights()}
+
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serializable fitted state of both branch calibration pipelines."""
+        return {"gsg": self._gsg.get_state(), "ldg": self._ldg.get_state()}
+
+    def set_state(self, state: dict) -> "JointCalibrationModule":
+        """Restore a fitted state produced by :meth:`get_state` (config unchanged)."""
+        self._gsg = _BranchCalibrator(self.config).set_state(state["gsg"])
+        self._ldg = _BranchCalibrator(self.config).set_state(state["ldg"])
+        return self

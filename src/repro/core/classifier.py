@@ -54,3 +54,24 @@ class AccountClassificationModule:
         calibrated = np.atleast_2d(np.asarray(calibrated, dtype=float))
         probs = self._model.predict_proba(calibrated)
         return probs[:, 1] if probs.ndim == 2 else probs
+
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serializable fitted state: classifier name, seed and model internals."""
+        return {
+            "classifier": self.classifier_name,
+            "seed": int(self.seed),
+            "model": self._model.get_state(),
+        }
+
+    def set_state(self, state: dict) -> "AccountClassificationModule":
+        """Restore a fitted classifier from :meth:`get_state` output."""
+        name = state["classifier"]
+        if name not in CLASSIFIER_FACTORIES:
+            raise ValueError(
+                f"unknown classifier {name!r} in state; choose from {sorted(CLASSIFIER_FACTORIES)}")
+        self.classifier_name = name
+        self.seed = int(state["seed"])
+        self._model = CLASSIFIER_FACTORIES[name](self.seed)
+        self._model.set_state(state["model"])
+        return self

@@ -161,3 +161,29 @@ class GSGBranch:
             raise RuntimeError("GSGBranch has not been fitted")
         features, edge_features, adjacency = self._prepare(sample)
         return self._network.embed(features, edge_features, adjacency).data.ravel()
+
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serializable fitted state: feature scaler stats + network weights.
+
+        The branch hyperparameters are *not* part of the state — restore into a
+        branch constructed with the same :class:`GSGConfig`.
+        """
+        if self._network is None:
+            raise RuntimeError("GSGBranch has not been fitted")
+        mean, std = self._feature_stats
+        return {
+            "in_dim": int(self._network.align.in_features - 2),
+            "feature_mean": np.asarray(mean),
+            "feature_std": np.asarray(std),
+            "params": self._network.state_dict(),
+        }
+
+    def set_state(self, state: dict) -> "GSGBranch":
+        """Restore a fitted branch from :meth:`get_state` output."""
+        self._feature_stats = (np.asarray(state["feature_mean"], dtype=float),
+                               np.asarray(state["feature_std"], dtype=float))
+        self._network = _GSGNetwork(int(state["in_dim"]), 2, self.config,
+                                    np.random.default_rng(self.config.seed))
+        self._network.load_state_dict([np.asarray(p, dtype=float) for p in state["params"]])
+        return self

@@ -160,3 +160,29 @@ class LDGBranch:
         logits = self._network.slice_logits.data
         exp = np.exp(logits - logits.max())
         return exp / exp.sum()
+
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serializable fitted state: feature scaler stats + network weights.
+
+        The branch hyperparameters are *not* part of the state — restore into a
+        branch constructed with the same :class:`LDGConfig`.
+        """
+        if self._network is None:
+            raise RuntimeError("LDGBranch has not been fitted")
+        mean, std = self._feature_stats
+        return {
+            "in_dim": int(self._network.input_proj.in_features),
+            "feature_mean": np.asarray(mean),
+            "feature_std": np.asarray(std),
+            "params": self._network.state_dict(),
+        }
+
+    def set_state(self, state: dict) -> "LDGBranch":
+        """Restore a fitted branch from :meth:`get_state` output."""
+        self._feature_stats = (np.asarray(state["feature_mean"], dtype=float),
+                               np.asarray(state["feature_std"], dtype=float))
+        self._network = _LDGNetwork(int(state["in_dim"]), self.config,
+                                    np.random.default_rng(self.config.seed))
+        self._network.load_state_dict([np.asarray(p, dtype=float) for p in state["params"]])
+        return self

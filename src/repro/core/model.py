@@ -2,17 +2,40 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.core.augmentation import AugmentationConfig
 from repro.core.calibration_module import CalibrationConfig, JointCalibrationModule
 from repro.core.classifier import AccountClassificationModule
 from repro.core.gsg import GSGBranch, GSGConfig
 from repro.core.ldg import LDGBranch, LDGConfig
 from repro.data.dataset import AccountSubgraph
 
-__all__ = ["DBG4ETHConfig", "DBG4ETH"]
+__all__ = ["DBG4ETHConfig", "DBG4ETH", "dbg4eth_config_to_dict", "dbg4eth_config_from_dict"]
+
+
+def dbg4eth_config_to_dict(config: "DBG4ETHConfig") -> dict:
+    """A json-friendly dict of a :class:`DBG4ETHConfig` (nested dataclasses included)."""
+    return asdict(config)
+
+
+def dbg4eth_config_from_dict(data: dict) -> "DBG4ETHConfig":
+    """Rebuild a :class:`DBG4ETHConfig` from :func:`dbg4eth_config_to_dict` output."""
+    gsg = dict(data["gsg"])
+    gsg["view1"] = AugmentationConfig(**gsg["view1"])
+    gsg["view2"] = AugmentationConfig(**gsg["view2"])
+    return DBG4ETHConfig(
+        gsg=GSGConfig(**gsg),
+        ldg=LDGConfig(**data["ldg"]),
+        calibration=CalibrationConfig(**data["calibration"]),
+        classifier=data["classifier"],
+        use_gsg=bool(data["use_gsg"]),
+        use_ldg=bool(data["use_ldg"]),
+        cross_fit_folds=int(data["cross_fit_folds"]),
+        seed=int(data["seed"]),
+    )
 
 
 @dataclass
@@ -160,3 +183,50 @@ class DBG4ETH:
     def _check_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError("DBG4ETH has not been fitted; call fit() first")
+
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """The full fitted state: config, branch weights, calibrators, classifier.
+
+        The returned structure contains only json/npz-friendly values (dicts,
+        lists, scalars and numpy arrays), so it can be written with
+        :func:`repro.api.persistence.save_state` and restored bit-for-bit.
+        """
+        self._check_fitted()
+        return {
+            "config": dbg4eth_config_to_dict(self.config),
+            "gsg": self.gsg_branch.get_state() if self.gsg_branch is not None else None,
+            "ldg": self.ldg_branch.get_state() if self.ldg_branch is not None else None,
+            "calibration": self.calibration.get_state(),
+            "classifier": self.classifier.get_state(),
+        }
+
+    def set_state(self, state: dict) -> "DBG4ETH":
+        """Restore a fitted model from :meth:`get_state` output.
+
+        The config embedded in the state replaces this instance's config, so a
+        freshly constructed ``DBG4ETH()`` restores correctly regardless of how
+        it was configured.
+        """
+        self.config = dbg4eth_config_from_dict(state["config"])
+        self.gsg_branch = None
+        self.ldg_branch = None
+        if self.config.use_gsg:
+            if state.get("gsg") is None:
+                raise ValueError("state enables the GSG branch but has no GSG weights")
+            self.gsg_branch = GSGBranch(self.config.gsg).set_state(state["gsg"])
+        if self.config.use_ldg:
+            if state.get("ldg") is None:
+                raise ValueError("state enables the LDG branch but has no LDG weights")
+            self.ldg_branch = LDGBranch(self.config.ldg).set_state(state["ldg"])
+        self.calibration = JointCalibrationModule(self.config.calibration)
+        self.calibration.set_state(state["calibration"])
+        self.classifier = AccountClassificationModule(self.config.classifier, self.config.seed)
+        self.classifier.set_state(state["classifier"])
+        self._fitted = True
+        return self
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DBG4ETH":
+        """Construct a fitted model directly from :meth:`get_state` output."""
+        return cls().set_state(state)

@@ -60,12 +60,21 @@ class AccountSubgraph:
         """Symmetric adjacency matrix for message passing."""
         return self.graph.adjacency_matrix(weighted=weighted, symmetric=True)
 
-    def adjacency_sparse(self, weighted: bool = False) -> SparseAdjacency:
-        """Cached CSR view of :meth:`adjacency` (same symmetric ``max(A, A.T)``)."""
-        key = ("adjacency", weighted)
+    def adjacency_sparse(self, weighted: bool = False,
+                         log_scale: bool = False) -> SparseAdjacency:
+        """Cached CSR view of :meth:`adjacency` (same symmetric ``max(A, A.T)``).
+
+        ``log_scale=True`` applies ``log1p`` to the stored values (the
+        amount-weighted variant used by TSGN-style baselines); since amounts are
+        non-negative the non-zero structure — and therefore the memoized
+        normalisations — match the dense ``np.log1p(A)`` exactly.
+        """
+        key = ("adjacency", weighted, log_scale)
         if key not in self._sparse_cache:
-            self._sparse_cache[key] = SparseAdjacency.from_graph(
-                self.graph, weighted=weighted, symmetric=True)
+            base = SparseAdjacency.from_graph(self.graph, weighted=weighted, symmetric=True)
+            if log_scale:
+                base = SparseAdjacency(base.indptr, base.indices, np.log1p(base.data))
+            self._sparse_cache[key] = base
         return self._sparse_cache[key]
 
     def edge_features(self) -> np.ndarray:
@@ -185,34 +194,53 @@ class SubgraphDataset:
 
 
 class SubgraphDatasetBuilder:
-    """Build a :class:`SubgraphDataset` from a ledger (Stage 1 of the paper)."""
+    """Build a :class:`SubgraphDataset` from a ledger (Stage 1 of the paper).
+
+    Besides the batch :meth:`build`, the builder supports on-demand sampling of
+    a single account through :meth:`build_sample` — the primitive the serving
+    facade (:class:`repro.api.DeAnonymizer`) uses to answer "what category is
+    address X?" for addresses that were never part of a training dataset.  The
+    global transaction graph is built once and cached on the builder.
+    """
 
     def __init__(self, ledger: Ledger, config: DatasetConfig | None = None):
         self.ledger = ledger
         self.config = config or DatasetConfig()
         self._extractor = DeepFeatureExtractor(ledger)
+        self._graph: TxGraph | None = None
+
+    @property
+    def graph(self) -> TxGraph:
+        """The global account-interaction graph (built lazily, cached)."""
+        if self._graph is None:
+            self._graph = build_transaction_graph(self.ledger)
+        return self._graph
 
     def build(self) -> SubgraphDataset:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        graph = build_transaction_graph(self.ledger)
+        graph = self.graph
         samples: list[AccountSubgraph] = []
         labelled_addresses = [addr for addr, _ in self.ledger.labels.items()
                               if graph.has_node(addr)]
         for address in labelled_addresses:
             category = self.ledger.labels.get(address)
-            samples.append(self._build_sample(graph, address, category.value))
+            samples.append(self.build_sample(address, category.value))
         # Negative samples: unlabeled accounts with enough activity.
         n_negatives = int(round(len(labelled_addresses) * cfg.negatives_per_positive))
         candidates = [node for node in graph.nodes
                       if node not in self.ledger.labels and graph.degree(node) >= 2]
         rng.shuffle(candidates)
         for address in candidates[:n_negatives]:
-            samples.append(self._build_sample(graph, address, None))
+            samples.append(self.build_sample(address, None))
         return SubgraphDataset(samples)
 
-    def _build_sample(self, graph: TxGraph, address: str, category: str | None) -> AccountSubgraph:
+    def build_sample(self, address: str, category: str | None = None) -> AccountSubgraph:
+        """Sample one account-centred subgraph (2-hop top-K ego + deep features)."""
         cfg = self.config
+        graph = self.graph
+        if address not in graph:
+            raise KeyError(f"address {address!r} is not in the transaction graph")
         sub = ego_subgraph(graph, address, hops=cfg.hops, k=cfg.top_k)
         if sub.num_nodes > cfg.max_nodes_per_subgraph:
             sub = self._truncate(sub, address, cfg.max_nodes_per_subgraph)

@@ -27,7 +27,30 @@ def _validate_binary(y: np.ndarray) -> np.ndarray:
     return y.astype(float)
 
 
-class GradientBoostingClassifier:
+class _BoostedTreesState:
+    """Shared get_state/set_state for additive regression-tree ensembles.
+
+    Hosts expose ``learning_rate``, ``max_depth``, ``_base_score`` and
+    ``_trees`` (a list of :class:`DecisionTreeRegressor`).
+    """
+
+    def get_state(self) -> dict:
+        """Serializable fitted state: base score, shrinkage and every tree."""
+        return {
+            "learning_rate": float(self.learning_rate),
+            "base_score": float(self._base_score),
+            "trees": [tree.get_state() for tree in self._trees],
+        }
+
+    def set_state(self, state: dict):
+        self.learning_rate = float(state["learning_rate"])
+        self._base_score = float(state["base_score"])
+        self._trees = [DecisionTreeRegressor(max_depth=self.max_depth).set_state(tree)
+                       for tree in state["trees"]]
+        return self
+
+
+class GradientBoostingClassifier(_BoostedTreesState):
     """Binary gradient boosting with logistic loss and regression-tree weak learners."""
 
     def __init__(self, n_estimators: int = 50, learning_rate: float = 0.1,
@@ -115,8 +138,18 @@ class LightGBMClassifier(GradientBoostingClassifier):
         binned = self._bin(np.atleast_2d(np.asarray(X, dtype=float)), fit=False)
         return super().decision_function(binned)
 
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["bin_edges"] = [np.asarray(edges, dtype=float) for edges in self._bin_edges]
+        return state
 
-class XGBoostClassifier:
+    def set_state(self, state: dict) -> "LightGBMClassifier":
+        super().set_state(state)
+        self._bin_edges = [np.asarray(edges, dtype=float) for edges in state["bin_edges"]]
+        return self
+
+
+class XGBoostClassifier(_BoostedTreesState):
     """Second-order (Newton) boosted trees with L2 leaf regularisation.
 
     Captures XGBoost's distinguishing feature relative to plain gradient
@@ -221,3 +254,16 @@ class AdaBoostClassifier:
 
     def predict(self, X) -> np.ndarray:
         return (self.decision_function(X) >= 0.0).astype(int)
+
+    def get_state(self) -> dict:
+        """Serializable fitted state: the weighted stump ensemble."""
+        return {
+            "alphas": [float(a) for a in self._alphas],
+            "stumps": [stump.get_state() for stump in self._stumps],
+        }
+
+    def set_state(self, state: dict) -> "AdaBoostClassifier":
+        self._alphas = [float(a) for a in state["alphas"]]
+        self._stumps = [DecisionTreeClassifier(max_depth=self.max_depth).set_state(stump)
+                        for stump in state["stumps"]]
+        return self

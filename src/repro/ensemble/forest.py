@@ -67,3 +67,18 @@ class RandomForestClassifier:
 
     def predict(self, X) -> np.ndarray:
         return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def get_state(self) -> dict:
+        """Serializable fitted state: the class labels and every bagged tree."""
+        if not self._trees:
+            raise RuntimeError("forest has not been fitted")
+        return {
+            "classes": np.asarray(self.classes_),
+            "trees": [tree.get_state() for tree in self._trees],
+        }
+
+    def set_state(self, state: dict) -> "RandomForestClassifier":
+        self.classes_ = np.asarray(state["classes"])
+        self._trees = [DecisionTreeClassifier(max_depth=self.max_depth).set_state(tree)
+                       for tree in state["trees"]]
+        return self

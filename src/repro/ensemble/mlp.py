@@ -65,3 +65,26 @@ class MLPClassifier:
 
     def predict(self, X) -> np.ndarray:
         return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def get_state(self) -> dict:
+        """Serializable fitted state: scaler stats, class labels and net weights."""
+        if self._net is None:
+            raise RuntimeError("MLP has not been fitted")
+        return {
+            "classes": np.asarray(self.classes_),
+            "mean": np.asarray(self._mean),
+            "std": np.asarray(self._std),
+            "in_dim": int(self._mean.shape[0]),
+            "hidden_dim": int(self.hidden_dim),
+            "params": self._net.state_dict(),
+        }
+
+    def set_state(self, state: dict) -> "MLPClassifier":
+        self.classes_ = np.asarray(state["classes"])
+        self._mean = np.asarray(state["mean"], dtype=float)
+        self._std = np.asarray(state["std"], dtype=float)
+        self.hidden_dim = int(state["hidden_dim"])
+        self._net = _MLPNet(int(state["in_dim"]), self.hidden_dim, len(self.classes_),
+                            np.random.default_rng(self.seed))
+        self._net.load_state_dict([np.asarray(p, dtype=float) for p in state["params"]])
+        return self

@@ -116,6 +116,59 @@ class _BaseTree:
             raise RuntimeError("tree has not been fitted")
         return walk(self._root)
 
+    # ------------------------------------------------------------- persistence
+    def _structure_arrays(self, value_to_row) -> dict:
+        """Flatten the node tree into parallel preorder arrays.
+
+        Internal nodes store ``feature >= 0`` and child indices; leaves store
+        ``feature == -1`` and their value (mapped through ``value_to_row``).
+        """
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        values: list = []
+
+        def visit(node: _Node) -> int:
+            idx = len(feature)
+            feature.append(-1 if node.is_leaf else int(node.feature))
+            threshold.append(np.nan if node.is_leaf else float(node.threshold))
+            left.append(-1)
+            right.append(-1)
+            values.append(value_to_row(node.value))
+            if not node.is_leaf:
+                left[idx] = visit(node.left)
+                right[idx] = visit(node.right)
+            return idx
+
+        visit(self._root)
+        return {
+            "n_features": int(getattr(self, "_n_features", 0)),
+            "feature": np.asarray(feature, dtype=np.int64),
+            "threshold": np.asarray(threshold, dtype=np.float64),
+            "left": np.asarray(left, dtype=np.int64),
+            "right": np.asarray(right, dtype=np.int64),
+            "values": np.asarray(values, dtype=np.float64),
+        }
+
+    def _load_structure_arrays(self, state: dict, row_to_value) -> None:
+        feature = np.asarray(state["feature"], dtype=np.int64)
+        threshold = np.asarray(state["threshold"], dtype=np.float64)
+        left = np.asarray(state["left"], dtype=np.int64)
+        right = np.asarray(state["right"], dtype=np.int64)
+        values = np.asarray(state["values"], dtype=np.float64)
+        self._n_features = int(state["n_features"])
+
+        def build(idx: int) -> _Node:
+            if feature[idx] < 0:
+                return _Node(value=row_to_value(values[idx]))
+            return _Node(feature=int(feature[idx]), threshold=float(threshold[idx]),
+                         left=build(int(left[idx])), right=build(int(right[idx])))
+
+        self._root = build(0)
+
 
 class DecisionTreeRegressor(_BaseTree):
     """Variance-reduction regression tree (the weak learner inside boosting)."""
@@ -133,6 +186,14 @@ class DecisionTreeRegressor(_BaseTree):
     def predict(self, X) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         return np.array([self._predict_row(row) for row in X])
+
+    def get_state(self) -> dict:
+        """Serializable fitted state (preorder node arrays)."""
+        return self._structure_arrays(lambda v: 0.0 if v is None else float(v))
+
+    def set_state(self, state: dict) -> "DecisionTreeRegressor":
+        self._load_structure_arrays(state, float)
+        return self
 
 
 class DecisionTreeClassifier(_BaseTree):
@@ -169,3 +230,18 @@ class DecisionTreeClassifier(_BaseTree):
     def predict(self, X) -> np.ndarray:
         probs = self.predict_proba(X)
         return self.classes_[np.argmax(probs, axis=1)]
+
+    def get_state(self) -> dict:
+        """Serializable fitted state (preorder node arrays + class labels)."""
+        n_classes = self._n_classes
+        state = self._structure_arrays(
+            lambda v: np.zeros(n_classes) if v is None else np.asarray(v, dtype=float))
+        state["classes"] = np.asarray(self.classes_)
+        return state
+
+    def set_state(self, state: dict) -> "DecisionTreeClassifier":
+        self.classes_ = np.asarray(state["classes"])
+        self._n_classes = len(self.classes_)
+        self._class_to_index = {cls: i for i, cls in enumerate(self.classes_)}
+        self._load_structure_arrays(state, lambda row: np.asarray(row, dtype=float))
+        return self

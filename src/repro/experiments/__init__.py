@@ -6,6 +6,7 @@ pytest-benchmark fixtures; examples call them directly.
 
 from repro.experiments.setup import ExperimentConfig, build_experiment_dataset
 from repro.experiments.runner import (
+    evaluate_dbg4eth_head,
     evaluate_model,
     run_category_experiment,
     run_baseline_comparison,
@@ -25,6 +26,7 @@ __all__ = [
     "ExperimentConfig",
     "build_experiment_dataset",
     "evaluate_model",
+    "evaluate_dbg4eth_head",
     "run_category_experiment",
     "run_baseline_comparison",
     "run_ablation",

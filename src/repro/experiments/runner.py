@@ -1,15 +1,21 @@
-"""Experiment runners for the comparison, ablation and sweep studies."""
+"""Experiment runners for the comparison, ablation and sweep studies.
+
+The DBG4ETH rows of every study go through the :class:`~repro.api.DeAnonymizer`
+facade (one one-vs-rest head per category); baselines keep the plain
+``fit``/``predict`` path via :func:`evaluate_model`.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 import numpy as np
 
+from repro.api import DeAnonymizer
 from repro.chain import AccountCategory
 from repro.core import (
     CalibrationConfig,
-    DBG4ETH,
     DBG4ETHConfig,
     GSGConfig,
     LDGConfig,
@@ -20,6 +26,7 @@ from repro.metrics import classification_report
 
 __all__ = [
     "evaluate_model",
+    "evaluate_dbg4eth_head",
     "run_category_experiment",
     "run_baseline_comparison",
     "run_ablation",
@@ -27,15 +34,26 @@ __all__ = [
     "fast_dbg4eth_config",
 ]
 
+_DBG4ETH_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(DBG4ETHConfig))
+
 
 def fast_dbg4eth_config(epochs: int = 8, **overrides) -> DBG4ETHConfig:
-    """A laptop-fast DBG4ETH configuration used across the benchmark suite."""
+    """A laptop-fast DBG4ETH configuration used across the benchmark suite.
+
+    ``overrides`` must name actual :class:`DBG4ETHConfig` fields (``use_gsg``,
+    ``classifier``, ...); unknown names raise :class:`TypeError` instead of
+    silently attaching a dead attribute to the config.
+    """
     config = DBG4ETHConfig(
         gsg=GSGConfig(hidden_dim=16, epochs=epochs, contrastive_batch=6),
         ldg=LDGConfig(hidden_dim=16, epochs=epochs, num_slices=4, first_pool_clusters=6),
         calibration=CalibrationConfig(),
     )
     for key, value in overrides.items():
+        if key not in _DBG4ETH_CONFIG_FIELDS:
+            raise TypeError(
+                f"fast_dbg4eth_config() got an unexpected keyword argument {key!r}; "
+                f"valid DBG4ETHConfig fields: {sorted(_DBG4ETH_CONFIG_FIELDS)}")
         setattr(config, key, value)
     return config
 
@@ -46,6 +64,19 @@ def evaluate_model(model, train_samples: list[AccountSubgraph], train_labels: np
     """Fit ``model`` on the train split and report P/R/F1/Acc on the test split."""
     model.fit(train_samples, train_labels)
     predictions = model.predict(test_samples)
+    return classification_report(np.asarray(test_labels).astype(int),
+                                 np.asarray(predictions).astype(int))
+
+
+def evaluate_dbg4eth_head(config: DBG4ETHConfig | Callable[[], DBG4ETHConfig] | None,
+                          category, train_samples: list[AccountSubgraph],
+                          train_labels: np.ndarray,
+                          test_samples: list[AccountSubgraph], test_labels: np.ndarray,
+                          ) -> dict[str, float]:
+    """Fit one facade head for ``category`` on the train split and report test metrics."""
+    facade = DeAnonymizer(model_config=config)
+    facade.fit_category(category, train_samples, train_labels)
+    predictions = facade.predict_samples(category, test_samples)
     return classification_report(np.asarray(test_labels).astype(int),
                                  np.asarray(predictions).astype(int))
 
@@ -90,8 +121,8 @@ def run_baseline_comparison(dataset: SubgraphDataset, categories: list,
             report = evaluate_model(model, train_s, train_y, test_s, test_y)
             results.setdefault(name, {})[category_name] = report
         if include_dbg4eth:
-            model = DBG4ETH(dbg4eth_config or fast_dbg4eth_config())
-            report = evaluate_model(model, train_s, train_y, test_s, test_y)
+            report = evaluate_dbg4eth_head(dbg4eth_config or fast_dbg4eth_config(),
+                                           category_name, train_s, train_y, test_s, test_y)
             results.setdefault("DBG4ETH", {})[category_name] = report
     return results
 
@@ -133,8 +164,8 @@ def run_ablation(dataset: SubgraphDataset, categories: list,
                                                             test_fraction=test_fraction,
                                                             seed=seed)
         for variant_name, config in _ablation_variants(base_config).items():
-            model = DBG4ETH(config)
-            report = evaluate_model(model, train_s, train_y, test_s, test_y)
+            report = evaluate_dbg4eth_head(config, category_name,
+                                           train_s, train_y, test_s, test_y)
             results.setdefault(variant_name, {})[category_name] = report["f1"]
     return results
 
@@ -150,6 +181,6 @@ def run_training_size_sweep(dataset: SubgraphDataset, category: AccountCategory 
     for fraction in fractions:
         train_s, train_y, test_s, test_y = train_test_split(
             samples, labels, test_fraction=1.0 - fraction, seed=seed)
-        model = DBG4ETH(config_factory())
-        results[fraction] = evaluate_model(model, train_s, train_y, test_s, test_y)
+        results[fraction] = evaluate_dbg4eth_head(config_factory(), category,
+                                                  train_s, train_y, test_s, test_y)
     return results

@@ -1,0 +1,264 @@
+"""Tests for the serving facade (`repro.api`): persistence, batching, errors."""
+
+import numpy as np
+import pytest
+
+import repro.data.dataset as dataset_module
+from repro.api import (
+    DeAnonymizer,
+    StateFormatError,
+    UnknownAddressError,
+    load_state,
+    save_state,
+)
+from repro.core import CalibrationConfig, DBG4ETH, DBG4ETHConfig, GSGConfig, LDGConfig
+from repro.data import DatasetConfig
+
+CATEGORIES = ["exchange", "mining"]
+
+
+def micro_config() -> DBG4ETHConfig:
+    return DBG4ETHConfig(
+        gsg=GSGConfig(hidden_dim=8, epochs=2, contrastive_batch=4),
+        ldg=LDGConfig(hidden_dim=8, epochs=2, num_slices=3, first_pool_clusters=4),
+        calibration=CalibrationConfig(),
+    )
+
+
+@pytest.fixture(scope="module")
+def facade(small_ledger, small_dataset):
+    """A fitted facade over the shared session dataset (two category heads)."""
+    deanon = DeAnonymizer.from_dataset(
+        small_dataset, ledger=small_ledger,
+        dataset_config=DatasetConfig(top_k=40, max_nodes_per_subgraph=40, seed=3),
+        model_config=micro_config)
+    deanon.fit(CATEGORIES)
+    return deanon
+
+
+@pytest.fixture(scope="module")
+def dataset_only_facade(small_dataset):
+    """A facade constructed from a dataset alone (no ledger attached)."""
+    deanon = DeAnonymizer.from_dataset(small_dataset, model_config=micro_config)
+    deanon.fit_category("exchange")
+    return deanon
+
+
+@pytest.fixture()
+def fresh_addresses(facade):
+    """Graph addresses that are not dataset centres (never sampled yet)."""
+    centres = {s.center for s in facade.dataset}
+    return [node for node in facade.builder.graph.nodes if node not in centres][:4]
+
+
+class TestScoring:
+    def test_score_structure(self, facade):
+        addresses = [s.center for s in list(facade.dataset)[:3]]
+        scores = facade.score(addresses)
+        assert list(scores) == addresses
+        for per_category in scores.values():
+            assert set(per_category) == set(CATEGORIES)
+            assert all(0.0 <= p <= 1.0 for p in per_category.values())
+
+    def test_score_accepts_single_address(self, facade):
+        address = facade.dataset[0].center
+        scores = facade.score(address)
+        assert set(scores) == {address}
+
+    def test_score_matches_manual_sample_then_predict(self, facade, fresh_addresses):
+        """The facade's end-to-end path equals hand-gluing builder + head."""
+        address = fresh_addresses[0]
+        scores = facade.score([address])
+        for category in CATEGORIES:
+            manual_sample = facade.builder.build_sample(address)
+            manual = float(facade.head(category).predict_proba([manual_sample])[0])
+            assert scores[address][category] == manual
+
+    def test_unknown_address_raises_clear_error(self, facade):
+        with pytest.raises(UnknownAddressError, match="0xNOSUCHADDRESS"):
+            facade.score(["0xNOSUCHADDRESS"])
+
+    def test_unfitted_facade_raises(self, small_ledger):
+        deanon = DeAnonymizer(small_ledger)
+        with pytest.raises(RuntimeError, match="fit"):
+            deanon.score(["0xanything"])
+
+    def test_predict_returns_fitted_category(self, facade):
+        addresses = [s.center for s in list(facade.dataset)[:3]]
+        predictions = facade.predict(addresses, threshold=0.0)
+        assert set(predictions) == set(addresses)
+        assert all(category in CATEGORIES for category in predictions.values())
+
+    def test_predict_threshold_filters(self, facade):
+        address = facade.dataset[0].center
+        # No probability can reach an impossible threshold.
+        assert facade.predict([address], threshold=1.1)[address] is None
+
+    def test_score_all_without_ledger_covers_dataset(self, dataset_only_facade,
+                                                     small_dataset):
+        scores = dataset_only_facade.score_all()
+        assert set(scores) == {s.center for s in small_dataset}
+
+    def test_scoring_new_address_without_ledger_raises(self, dataset_only_facade):
+        with pytest.raises(RuntimeError, match="ledger"):
+            dataset_only_facade.score(["0xnever-seen"])
+
+
+class TestBatching:
+    def test_sampling_runs_once_per_address_not_per_head(self, facade, fresh_addresses,
+                                                         monkeypatch):
+        """N addresses x 2 heads must ego-sample exactly N times."""
+        facade.clear_sample_cache()
+        calls = []
+        original = dataset_module.ego_subgraph
+
+        def counting_ego_subgraph(graph, center, *args, **kwargs):
+            calls.append(center)
+            return original(graph, center, *args, **kwargs)
+
+        monkeypatch.setattr(dataset_module, "ego_subgraph", counting_ego_subgraph)
+        scores = facade.score(fresh_addresses)
+        assert len(scores) == len(fresh_addresses)
+        assert sorted(calls) == sorted(fresh_addresses)
+
+    def test_cached_addresses_are_not_resampled(self, facade, fresh_addresses,
+                                                monkeypatch):
+        facade.score(fresh_addresses)            # populate the cache
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("resampled a cached address")
+
+        monkeypatch.setattr(dataset_module, "ego_subgraph", forbidden)
+        scores = facade.score(fresh_addresses)
+        assert set(scores) == set(fresh_addresses)
+
+    def test_duplicate_addresses_sampled_once(self, facade, fresh_addresses, monkeypatch):
+        facade.clear_sample_cache()
+        calls = []
+        original = dataset_module.ego_subgraph
+
+        def counting_ego_subgraph(graph, center, *args, **kwargs):
+            calls.append(center)
+            return original(graph, center, *args, **kwargs)
+
+        monkeypatch.setattr(dataset_module, "ego_subgraph", counting_ego_subgraph)
+        address = fresh_addresses[0]
+        scores = facade.score([address, address, address])
+        assert calls == [address]
+        assert set(scores) == {address}
+
+
+class TestPersistence:
+    def test_facade_save_load_roundtrip_bit_for_bit(self, facade, fresh_addresses,
+                                                    small_ledger, tmp_path):
+        addresses = [facade.dataset[0].center] + fresh_addresses[:2]
+        before = facade.score(addresses)
+        facade.save(tmp_path / "model")
+        restored = DeAnonymizer.load(tmp_path / "model", small_ledger)
+        assert restored.categories == sorted(CATEGORIES)
+        after = restored.score(addresses)
+        for address in addresses:
+            for category in CATEGORIES:
+                assert before[address][category] == after[address][category]
+
+    def test_loaded_facade_needs_ledger_for_new_addresses(self, facade, tmp_path,
+                                                          small_ledger, fresh_addresses):
+        facade.save(tmp_path / "model")
+        restored = DeAnonymizer.load(tmp_path / "model")
+        with pytest.raises(RuntimeError, match="attach_ledger"):
+            restored.score(fresh_addresses[:1])
+        restored.attach_ledger(small_ledger)
+        assert set(restored.score(fresh_addresses[:1])) == set(fresh_addresses[:1])
+
+    def test_dbg4eth_state_roundtrip_bit_for_bit(self, facade, exchange_task):
+        samples, _labels = exchange_task
+        head = facade.head("exchange")
+        before = head.predict_proba(samples[:8])
+        restored = DBG4ETH.from_state(head.get_state())
+        np.testing.assert_array_equal(restored.predict_proba(samples[:8]), before)
+        np.testing.assert_array_equal(restored.predict(samples[:8]),
+                                      head.predict(samples[:8]))
+
+    def test_dbg4eth_state_survives_disk(self, facade, exchange_task, tmp_path):
+        samples, _labels = exchange_task
+        head = facade.head("exchange")
+        save_state(tmp_path / "head", head.get_state())
+        restored = DBG4ETH.from_state(load_state(tmp_path / "head"))
+        np.testing.assert_array_equal(restored.predict_proba(samples[:8]),
+                                      head.predict_proba(samples[:8]))
+
+    def test_dbg4eth_set_state_replaces_config(self, facade):
+        head = facade.head("exchange")
+        other = DBG4ETH()                         # default config, unfitted
+        other.set_state(head.get_state())
+        assert other.config.gsg.hidden_dim == micro_config().gsg.hidden_dim
+        assert other._fitted
+
+    def test_unfitted_get_state_raises(self):
+        with pytest.raises(RuntimeError):
+            DBG4ETH(micro_config()).get_state()
+        with pytest.raises(RuntimeError):
+            DeAnonymizer().get_state()
+
+    def test_from_dataset_with_ledger_requires_config(self, small_dataset, small_ledger):
+        with pytest.raises(ValueError, match="dataset_config"):
+            DeAnonymizer.from_dataset(small_dataset, ledger=small_ledger)
+
+    def test_attach_ledger_drops_stale_samples(self, small_dataset, small_ledger):
+        deanon = DeAnonymizer.from_dataset(
+            small_dataset, ledger=small_ledger,
+            dataset_config=DatasetConfig(top_k=40, max_nodes_per_subgraph=40, seed=3))
+        assert deanon._samples                   # seeded from the dataset
+        deanon.attach_ledger(small_ledger)
+        assert deanon._samples == {} and deanon._dataset is None
+
+    def test_set_state_drops_stale_samples(self, facade, small_dataset, small_ledger):
+        target = DeAnonymizer.from_dataset(
+            small_dataset, ledger=small_ledger,
+            dataset_config=DatasetConfig(top_k=40, max_nodes_per_subgraph=40, seed=3))
+        assert target._samples
+        target.set_state(facade.get_state())
+        # Subgraphs cached under the previous config must not survive the swap.
+        assert target._samples == {}
+        assert target.categories == sorted(CATEGORIES)
+
+
+class TestStateFiles:
+    def test_roundtrip_preserves_types(self, tmp_path):
+        state = {
+            "scalars": {"i": 3, "f": 0.1 + 0.2, "b": True, "none": None, "s": "x"},
+            "tuple": (1, (2.5, "three")),
+            "list": [np.arange(4), {"nested": np.eye(2)}],
+        }
+        save_state(tmp_path / "m", state)
+        loaded = load_state(tmp_path / "m")
+        assert loaded["scalars"] == state["scalars"]
+        assert loaded["tuple"] == (1, (2.5, "three"))
+        assert isinstance(loaded["tuple"], tuple)
+        np.testing.assert_array_equal(loaded["list"][0], np.arange(4))
+        np.testing.assert_array_equal(loaded["list"][1]["nested"], np.eye(2))
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        values = [0.1, 1e-300, np.pi, 2.0 ** -1074]
+        save_state(tmp_path / "m", {"values": values})
+        assert load_state(tmp_path / "m")["values"] == values
+
+    def test_non_string_keys_rejected(self, tmp_path):
+        with pytest.raises(StateFormatError):
+            save_state(tmp_path / "m", {1: "not allowed"})
+
+    def test_unserializable_value_rejected(self, tmp_path):
+        with pytest.raises(StateFormatError):
+            save_state(tmp_path / "m", {"fn": lambda: None})
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StateFormatError):
+            load_state(tmp_path / "does-not-exist")
+
+    def test_version_mismatch_raises(self, tmp_path):
+        save_state(tmp_path / "m", {"x": 1})
+        state_file = tmp_path / "m" / "state.json"
+        state_file.write_text(state_file.read_text().replace(
+            '"format_version": 1', '"format_version": 999'))
+        with pytest.raises(StateFormatError, match="version"):
+            load_state(tmp_path / "m")

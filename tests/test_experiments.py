@@ -70,6 +70,15 @@ class TestRunners:
         assert config.classifier == "mlp"
         assert config.gsg.epochs == 2
 
+    def test_fast_config_rejects_unknown_override(self):
+        with pytest.raises(TypeError, match="use_ldgg"):
+            fast_dbg4eth_config(epochs=2, use_ldgg=False)   # typo must not pass silently
+
+    def test_fast_config_rejects_nested_field_names(self):
+        # gsg/ldg sub-fields are not top-level DBG4ETHConfig fields.
+        with pytest.raises(TypeError, match="hidden_dim"):
+            fast_dbg4eth_config(hidden_dim=64)
+
     def test_run_baseline_comparison_structure(self, small_dataset):
         baselines = {"GCN": __import__("repro.baselines", fromlist=["GCNClassifier"])
                      .GCNClassifier(hidden_dim=8, epochs=2)}
