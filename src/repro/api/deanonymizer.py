@@ -18,6 +18,14 @@ Batched execution: a request for N addresses samples and featurizes each
 address exactly once; the resulting :class:`AccountSubgraph` objects (and the
 CSR adjacency / time-slice caches memoized on them) are then shared by every
 category head, so per-head inference costs only the branch forward passes.
+
+Ledger path: the facade reads the attached ledger through its columnar
+transaction store — the global graph is ingested with the vectorised
+``TxGraph.add_edges_bulk`` path and the feature extractor's single-pass table
+is computed straight from the column arrays — so construction over
+million-transaction ledgers stays tractable.  :meth:`DeAnonymizer.stats`
+exposes the O(1) ledger counters alongside serving-cache state for
+monitoring endpoints.
 """
 
 from __future__ import annotations
@@ -255,6 +263,34 @@ class DeAnonymizer:
         else:
             addresses = list(self._samples)
         return self.score(addresses)
+
+    def stats(self) -> dict:
+        """Serving statistics for monitoring endpoints (cheap to call).
+
+        Every ledger-level counter is O(1) against the columnar store
+        (row/account counts, the incrementally maintained submitted-tx
+        timespan); graph statistics appear once the global transaction graph
+        has been built and are ``None`` before then, so calling ``stats()``
+        never forces the expensive build.
+        """
+        ledger_stats = None
+        if self.ledger is not None:
+            low, high = self.ledger.timespan()
+            ledger_stats = {
+                "num_transactions": self.ledger.num_transactions,
+                "num_accounts": self.ledger.num_accounts,
+                "num_blocks": self.ledger.num_blocks,
+                "timespan": (low, high),
+            }
+        graph = self._builder.graph_if_built() if self._builder is not None else None
+        return {
+            "ledger": ledger_stats,
+            "graph": (None if graph is None
+                      else {"num_nodes": graph.num_nodes, "num_edges": graph.num_edges}),
+            "fitted_heads": self.categories,
+            "cached_samples": len(self._samples),
+            "dataset_built": self._dataset is not None,
+        }
 
     def predict(self, addresses: str | Sequence[str],
                 threshold: float = 0.5) -> dict[str, str | None]:

@@ -13,6 +13,7 @@ distributions so that the whole DBG4ETH pipeline is exercised end-to-end.
 
 from repro.chain.accounts import Account, AccountType
 from repro.chain.transactions import Transaction, Block
+from repro.chain.txstore import ColumnarTxStore, TxColumns
 from repro.chain.ledger import Ledger
 from repro.chain.labelcloud import LabelCloud, AccountCategory
 from repro.chain.generator import LedgerConfig, LedgerGenerator, generate_ledger
@@ -22,6 +23,8 @@ __all__ = [
     "AccountType",
     "Transaction",
     "Block",
+    "ColumnarTxStore",
+    "TxColumns",
     "Ledger",
     "LabelCloud",
     "AccountCategory",

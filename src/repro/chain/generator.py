@@ -60,10 +60,19 @@ class LedgerConfig:
 
 
 class LedgerGenerator:
-    """Build a :class:`~repro.chain.Ledger` from a :class:`LedgerConfig`."""
+    """Build a :class:`~repro.chain.Ledger` from a :class:`LedgerConfig`.
 
-    def __init__(self, config: LedgerConfig | None = None):
+    ``columnar=True`` (the default) assembles blocks column-wise straight
+    into the ledger's :class:`~repro.chain.txstore.ColumnarTxStore` without
+    creating a single :class:`Transaction` object; ``columnar=False`` keeps
+    the original per-object assembly loop.  Both paths draw from the RNG in
+    the same order and produce identical ledgers (pinned by
+    ``tests/test_chain_generator.py``).
+    """
+
+    def __init__(self, config: LedgerConfig | None = None, columnar: bool = True):
         self.config = config or LedgerConfig()
+        self.columnar = columnar
 
     def generate(self) -> Ledger:
         cfg = self.config
@@ -137,6 +146,44 @@ class LedgerGenerator:
 
     def _assemble_blocks(self, ledger: Ledger, raw_txs: list[RawTx],
                          rng: np.random.Generator) -> None:
+        if self.columnar:
+            self._assemble_blocks_columnar(ledger, raw_txs, rng)
+        else:
+            self._assemble_blocks_objects(ledger, raw_txs, rng)
+
+    def _assemble_blocks_columnar(self, ledger: Ledger, raw_txs: list[RawTx],
+                                  rng: np.random.Generator) -> None:
+        """Column-wise block assembly: no per-``Transaction`` object creation.
+
+        Reproduces the object path exactly: the same stable sort by
+        timestamp, the same per-row rounding, the same single stream of
+        ``rng.random()`` draws for the submitted flags (one vectorised call
+        draws the identical doubles), the same last-transaction block
+        timestamps, and the same derived ``0x{row:064x}`` hashes.
+        """
+        cfg = self.config
+        n = len(raw_txs)
+        if n == 0:
+            return
+        timestamps = np.fromiter((tx[5] for tx in raw_txs), dtype=np.float64, count=n)
+        order = np.argsort(timestamps, kind="stable")
+        order_list = order.tolist()
+        senders = [raw_txs[i][0] for i in order_list]
+        receivers = [raw_txs[i][1] for i in order_list]
+        values = np.round(
+            np.fromiter((tx[2] for tx in raw_txs), dtype=np.float64, count=n)[order], 8)
+        gas_prices = np.round(
+            np.fromiter((tx[3] for tx in raw_txs), dtype=np.float64, count=n)[order], 4)
+        gas_used = np.fromiter((tx[4] for tx in raw_txs), dtype=np.int64, count=n)[order]
+        is_call = np.fromiter((tx[6] for tx in raw_txs), dtype=np.bool_, count=n)[order]
+        submitted = rng.random(n) >= cfg.unsubmitted_fraction
+        ledger.append_blocks_columnar(
+            senders, receivers, values, gas_prices, gas_used, timestamps[order],
+            is_call, submitted, transactions_per_block=cfg.transactions_per_block)
+
+    def _assemble_blocks_objects(self, ledger: Ledger, raw_txs: list[RawTx],
+                                 rng: np.random.Generator) -> None:
+        """The original object path: one ``Transaction`` per raw tuple."""
         cfg = self.config
         raw_txs.sort(key=lambda tx: tx[5])
         blocks: list[Block] = []

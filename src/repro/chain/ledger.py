@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.chain.accounts import Account, AccountType
 from repro.chain.labelcloud import LabelCloud
 from repro.chain.transactions import Block, Transaction
+from repro.chain.txstore import ColumnarTxStore, TxColumns
 
 __all__ = ["Ledger"]
 
@@ -14,23 +17,31 @@ __all__ = ["Ledger"]
 class Ledger:
     """In-memory Ethereum-like ledger.
 
-    Holds the account registry, the ordered list of blocks and the label cloud.
-    Transaction helpers intentionally mirror the access patterns the data
-    pipeline needs: all submitted transactions, transactions touching a given
-    address, and contract-account lookups.
+    Holds the account registry, the block index and the label cloud.  All
+    transaction data lives in a :class:`~repro.chain.txstore.ColumnarTxStore`
+    — parallel numpy column arrays plus an address interning table — and
+    :class:`~repro.chain.transactions.Transaction` objects are materialised
+    lazily, only when a caller crosses the object API boundary
+    (:meth:`transactions`, :meth:`transactions_for`, :meth:`get_transaction`,
+    :attr:`blocks`).  The hot consumers (graph build, feature extraction)
+    read the columns directly via :attr:`store`.
+
+    Two ingestion paths feed the same store: :meth:`append_block` (object
+    path — a :class:`Block` of :class:`Transaction` objects) and
+    :meth:`append_blocks_columnar` (bulk path — whole column arrays split
+    into fixed-size blocks, the path ``generate_ledger`` uses).
     """
 
     def __init__(self, block_interval: float = 12.0, genesis_timestamp: float = 1_438_900_000.0):
         self.block_interval = block_interval
         self.genesis_timestamp = genesis_timestamp
         self._accounts: dict[str, Account] = {}
-        self._blocks: list[Block] = []
-        self._tx_index: dict[str, Transaction] = {}
-        # Per-address transaction index: every registered transaction is
-        # appended under both its sender and its receiver (twice for a
-        # self-transfer), in block order, making transactions_for O(deg).
-        self._address_txs: dict[str, list[Transaction]] = {}
-        self._num_transactions = 0
+        self._store = ColumnarTxStore()
+        # Per-block metadata (number, timestamp, [start_row, end_row) in the
+        # store); Block objects are materialised on demand from these bounds.
+        self._block_numbers: list[int] = []
+        self._block_timestamps: list[float] = []
+        self._block_bounds: list[tuple[int, int]] = []
         self.labels = LabelCloud()
 
     # --------------------------------------------------------------- accounts
@@ -58,35 +69,82 @@ class Ledger:
     def num_accounts(self) -> int:
         return len(self._accounts)
 
+    # ----------------------------------------------------------------- store
+    @property
+    def store(self) -> ColumnarTxStore:
+        """The columnar transaction store backing this ledger."""
+        return self._store
+
+    def tx_columns(self) -> TxColumns:
+        """Consolidated per-transaction column arrays, in block order."""
+        return self._store.columns()
+
     # ----------------------------------------------------------------- blocks
     def append_block(self, block: Block) -> None:
-        if self._blocks and block.number <= self._blocks[-1].number:
+        """Register a :class:`Block` of :class:`Transaction` objects."""
+        if self._block_numbers and block.number <= self._block_numbers[-1]:
             raise ValueError("block numbers must be strictly increasing")
-        self._blocks.append(block)
+        start = self._store.num_rows
         for tx in block.transactions:
-            self._register_transaction(tx)
+            self._store.append_tx(tx)
+        self._block_numbers.append(block.number)
+        self._block_timestamps.append(block.timestamp)
+        self._block_bounds.append((start, self._store.num_rows))
 
-    def _register_transaction(self, tx: Transaction) -> None:
-        self._tx_index[tx.tx_hash] = tx
-        self._address_txs.setdefault(tx.sender, []).append(tx)
-        self._address_txs.setdefault(tx.receiver, []).append(tx)
-        self._num_transactions += 1
+    def append_blocks_columnar(self, senders: Sequence[str], receivers: Sequence[str],
+                               values: np.ndarray, gas_prices: np.ndarray,
+                               gas_used: np.ndarray, timestamps: np.ndarray,
+                               is_contract_call: np.ndarray, submitted: np.ndarray,
+                               transactions_per_block: int,
+                               tx_hashes: Sequence[str] | None = None) -> None:
+        """Bulk path: append rows column-wise, split into fixed-size blocks.
+
+        Rows must already be in block (timestamp) order.  Consecutive runs of
+        ``transactions_per_block`` rows become one block whose timestamp is
+        its last transaction's timestamp and whose number continues from the
+        last registered block — exactly the semantics of the object-path
+        assembly loop.  ``tx_hashes=None`` keeps the generator's derived
+        ``0x{row:064x}`` hashes without per-row storage.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        if transactions_per_block < 1:
+            raise ValueError("transactions_per_block must be >= 1")
+        sender_ids, receiver_ids = self._store.intern_pairs(senders, receivers)
+        next_number = self._block_numbers[-1] + 1 if self._block_numbers else 0
+        start_row = self._store.num_rows
+        num_blocks = (n + transactions_per_block - 1) // transactions_per_block
+        block_numbers = next_number + np.arange(n, dtype=np.int64) // transactions_per_block
+        self._store.append_chunk(
+            sender_ids, receiver_ids, values, gas_prices, gas_used, timestamps,
+            is_contract_call, submitted, block_numbers, tx_hashes=tx_hashes)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        for b in range(num_blocks):
+            lo = b * transactions_per_block
+            hi = min(n, lo + transactions_per_block)
+            self._block_numbers.append(next_number + b)
+            self._block_timestamps.append(float(timestamps[hi - 1]))
+            self._block_bounds.append((start_row + lo, start_row + hi))
+
+    def _materialize_block(self, index: int) -> Block:
+        start, stop = self._block_bounds[index]
+        return Block(self._block_numbers[index], self._block_timestamps[index],
+                     self._store.materialize_rows(range(start, stop)))
 
     @property
     def blocks(self) -> list[Block]:
-        return list(self._blocks)
+        """Materialised :class:`Block` objects (lazy; O(T) — object boundary)."""
+        return [self._materialize_block(i) for i in range(len(self._block_numbers))]
 
     @property
     def num_blocks(self) -> int:
-        return len(self._blocks)
+        return len(self._block_numbers)
 
     # ----------------------------------------------------------- transactions
     def transactions(self, include_unsubmitted: bool = False) -> Iterator[Transaction]:
-        """Iterate over all transactions in block order."""
-        for block in self._blocks:
-            for tx in block.transactions:
-                if tx.submitted or include_unsubmitted:
-                    yield tx
+        """Iterate over all transactions in block order (lazy materialisation)."""
+        return self._store.iter_transactions(include_unsubmitted=include_unsubmitted)
 
     @property
     def num_transactions(self) -> int:
@@ -95,24 +153,34 @@ class Ledger:
         Serves as part of the feature extractor's cache-invalidation key, so
         it must stay cheap no matter how many blocks the ledger holds.
         """
-        return self._num_transactions
+        return self._store.num_rows
 
     def get_transaction(self, tx_hash: str) -> Transaction:
-        return self._tx_index[tx_hash]
+        return self._store.materialize(self._store.row_of_hash(tx_hash))
 
     def transactions_for(self, address: str, include_unsubmitted: bool = False) -> list[Transaction]:
-        """All transactions where ``address`` is sender or receiver."""
-        txs = self._address_txs.get(address, [])
-        if include_unsubmitted:
-            return list(txs)
-        return [tx for tx in txs if tx.submitted]
+        """All transactions where ``address`` is sender or receiver.
+
+        Each transaction appears exactly once — a self-transfer (sender ==
+        receiver) is **not** duplicated, so per-account statistics derived
+        from this list count it once per role.
+        """
+        rows = self._store.rows_for_address(address)
+        if not include_unsubmitted:
+            rows = rows[self._store.columns().submitted[rows]]
+        return self._store.materialize_rows(rows)
 
     def timespan(self) -> tuple[float, float]:
-        """(min, max) timestamp over all submitted transactions."""
-        timestamps = [tx.timestamp for tx in self.transactions()]
-        if not timestamps:
+        """(min, max) timestamp over all submitted transactions.
+
+        O(1): the span is maintained incrementally as rows are registered.
+        An empty ledger — or one whose transactions are all unsubmitted —
+        spans ``(genesis_timestamp, genesis_timestamp)``.
+        """
+        span = self._store.submitted_timespan()
+        if span is None:
             return (self.genesis_timestamp, self.genesis_timestamp)
-        return (min(timestamps), max(timestamps))
+        return span
 
     def summary(self) -> dict:
         """Aggregate statistics used by examples and the dataset-stats bench."""

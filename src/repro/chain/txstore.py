@@ -1,0 +1,380 @@
+"""Columnar transaction storage: the ledger's canonical tx representation.
+
+``ColumnarTxStore`` keeps every registered transaction as a row across
+parallel numpy arrays (sender/receiver account ids, value, gas price, gas
+used, timestamp, contract-call and submitted flags, block number) plus an
+address interning table mapping account addresses to dense integer ids.
+:class:`~repro.chain.transactions.Transaction` objects are materialised
+lazily, only when a caller crosses the object API boundary
+(``Ledger.transactions()``, ``transactions_for``, ``get_transaction``); the
+hot consumers — ``build_transaction_graph``, ``DeepFeatureExtractor`` and the
+benchmarks — read the column arrays directly.
+
+Two ingestion paths feed the same columns:
+
+* ``append_tx`` buffers a single :class:`Transaction` (the object path used
+  by ``Ledger.append_block`` and hand-built test ledgers);
+* ``append_chunk`` appends whole column arrays at once (the path
+  ``generate_ledger`` uses to assemble millions of rows without creating a
+  single ``Transaction``).
+
+Transaction hashes are stored sparsely: a row's hash defaults to the
+canonical ``0x{row:064x}`` pattern the generator emits, and only hashes that
+deviate from it (hand-built ledgers) occupy dictionary entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.chain.transactions import Transaction
+
+__all__ = ["ColumnarTxStore", "TxColumns"]
+
+#: (column name, numpy dtype) of every per-transaction column, in row layout order.
+_COLUMN_DTYPES: tuple[tuple[str, type], ...] = (
+    ("sender_id", np.int64),
+    ("receiver_id", np.int64),
+    ("value", np.float64),
+    ("gas_price", np.float64),
+    ("gas_used", np.int64),
+    ("timestamp", np.float64),
+    ("is_contract_call", np.bool_),
+    ("submitted", np.bool_),
+    ("block_number", np.int64),
+)
+
+
+class TxColumns:
+    """A read-only snapshot of the store's consolidated column arrays.
+
+    Attribute names match the column names in ``_COLUMN_DTYPES``.  The arrays
+    are the store's own consolidated buffers — treat them as immutable.
+    """
+
+    __slots__ = tuple(name for name, _ in _COLUMN_DTYPES)
+
+    def __init__(self, **arrays: np.ndarray):
+        for name, _ in _COLUMN_DTYPES:
+            setattr(self, name, arrays[name])
+
+    def __len__(self) -> int:
+        return len(self.sender_id)
+
+
+def _derived_hash(row: int) -> str:
+    """The canonical generator hash of global row ``row``."""
+    return f"0x{row:064x}"
+
+
+class ColumnarTxStore:
+    """Parallel-array transaction storage with address interning.
+
+    Rows are append-only and kept in registration (block) order.  Appends go
+    to per-column chunk lists and are consolidated into single contiguous
+    arrays the first time :meth:`columns` is called after a write, so both
+    the per-``Transaction`` object path and the bulk columnar path stay
+    amortised O(1) per row.
+    """
+
+    def __init__(self):
+        self._addr_to_id: dict[str, int] = {}
+        self._addresses: list[str] = []
+        # Consolidated arrays + pending chunks awaiting consolidation.
+        self._consolidated: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in _COLUMN_DTYPES}
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._row_buffer: dict[str, list] = {name: [] for name, _ in _COLUMN_DTYPES}
+        self._num_rows = 0
+        # Sparse hash storage: only hashes deviating from the derived pattern.
+        self._explicit_hash_by_row: dict[int, str] = {}
+        self._row_by_explicit_hash: dict[str, int] = {}
+        # Incremental (min, max) timestamp over submitted rows (None = no rows).
+        self._submitted_ts_min: float | None = None
+        self._submitted_ts_max: float | None = None
+        # Lazily built per-address row index (CSR over interned ids); valid
+        # while ``_index_rows`` matches ``_num_rows``.
+        self._index_rows = -1
+        self._index_indptr: np.ndarray | None = None
+        self._index_row_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------- interning
+    def intern(self, address: str) -> int:
+        """Return the dense integer id of ``address``, assigning one if new."""
+        idx = self._addr_to_id.get(address)
+        if idx is None:
+            idx = self._addr_to_id[address] = len(self._addresses)
+            self._addresses.append(address)
+        return idx
+
+    def intern_many(self, addresses: Sequence[str]) -> np.ndarray:
+        """Intern a sequence of addresses; returns their ids as an int64 array."""
+        table = self._addr_to_id
+        pool = self._addresses
+        out = np.empty(len(addresses), dtype=np.int64)
+        for i, address in enumerate(addresses):
+            idx = table.get(address)
+            if idx is None:
+                idx = table[address] = len(pool)
+                pool.append(address)
+            out[i] = idx
+        return out
+
+    def intern_pairs(self, senders: Sequence[str], receivers: Sequence[str],
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Intern sender/receiver sequences in interleaved per-row order.
+
+        Scanning ``sender_0, receiver_0, sender_1, ...`` assigns ids in the
+        same first-appearance order as the per-``Transaction`` object path,
+        so bulk-built and object-built stores are column-for-column equal.
+        """
+        table = self._addr_to_id
+        pool = self._addresses
+        n = len(senders)
+        sender_ids = np.empty(n, dtype=np.int64)
+        receiver_ids = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            idx = table.get(senders[i])
+            if idx is None:
+                idx = table[senders[i]] = len(pool)
+                pool.append(senders[i])
+            sender_ids[i] = idx
+            idx = table.get(receivers[i])
+            if idx is None:
+                idx = table[receivers[i]] = len(pool)
+                pool.append(receivers[i])
+            receiver_ids[i] = idx
+        return sender_ids, receiver_ids
+
+    def address(self, account_id: int) -> str:
+        return self._addresses[account_id]
+
+    def address_id(self, address: str) -> int | None:
+        """The interned id of ``address``, or ``None`` if it never transacted."""
+        return self._addr_to_id.get(address)
+
+    @property
+    def addresses(self) -> list[str]:
+        """Interned addresses in id order (id ``i`` -> ``addresses[i]``)."""
+        return self._addresses
+
+    @property
+    def address_ids(self) -> dict[str, int]:
+        """The interning table (address -> dense id).  Treat as read-only."""
+        return self._addr_to_id
+
+    @property
+    def num_addresses(self) -> int:
+        return len(self._addresses)
+
+    # --------------------------------------------------------------- appends
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def _record_submitted_span(self, timestamps: np.ndarray | float) -> None:
+        ts_min = float(np.min(timestamps))
+        ts_max = float(np.max(timestamps))
+        if self._submitted_ts_min is None or ts_min < self._submitted_ts_min:
+            self._submitted_ts_min = ts_min
+        if self._submitted_ts_max is None or ts_max > self._submitted_ts_max:
+            self._submitted_ts_max = ts_max
+
+    def append_tx(self, tx: Transaction) -> int:
+        """Register one :class:`Transaction` (object path); returns its row id."""
+        row = self._num_rows
+        sender = self.intern(tx.sender)
+        receiver = self.intern(tx.receiver)
+        buf = self._row_buffer
+        buf["sender_id"].append(sender)
+        buf["receiver_id"].append(receiver)
+        buf["value"].append(tx.value)
+        buf["gas_price"].append(tx.gas_price)
+        buf["gas_used"].append(tx.gas_used)
+        buf["timestamp"].append(tx.timestamp)
+        buf["is_contract_call"].append(tx.is_contract_call)
+        buf["submitted"].append(tx.submitted)
+        buf["block_number"].append(tx.block_number)
+        if tx.tx_hash != _derived_hash(row):
+            self._explicit_hash_by_row[row] = tx.tx_hash
+            self._row_by_explicit_hash[tx.tx_hash] = row
+        if tx.submitted:
+            self._record_submitted_span(tx.timestamp)
+        self._num_rows += 1
+        return row
+
+    def append_chunk(self, sender_ids: np.ndarray, receiver_ids: np.ndarray,
+                     values: np.ndarray, gas_prices: np.ndarray,
+                     gas_used: np.ndarray, timestamps: np.ndarray,
+                     is_contract_call: np.ndarray, submitted: np.ndarray,
+                     block_numbers: np.ndarray,
+                     tx_hashes: Sequence[str] | None = None) -> int:
+        """Append whole column arrays at once (bulk path); returns the first row id.
+
+        ``sender_ids``/``receiver_ids`` must already be interned (see
+        :meth:`intern_many`).  ``tx_hashes=None`` means every appended row uses
+        the derived ``0x{row:064x}`` hash — the generator's convention — and
+        costs no per-row storage.
+        """
+        self._flush_row_buffer()
+        chunk = {
+            "sender_id": np.ascontiguousarray(sender_ids, dtype=np.int64),
+            "receiver_id": np.ascontiguousarray(receiver_ids, dtype=np.int64),
+            "value": np.ascontiguousarray(values, dtype=np.float64),
+            "gas_price": np.ascontiguousarray(gas_prices, dtype=np.float64),
+            "gas_used": np.ascontiguousarray(gas_used, dtype=np.int64),
+            "timestamp": np.ascontiguousarray(timestamps, dtype=np.float64),
+            "is_contract_call": np.ascontiguousarray(is_contract_call, dtype=np.bool_),
+            "submitted": np.ascontiguousarray(submitted, dtype=np.bool_),
+            "block_number": np.ascontiguousarray(block_numbers, dtype=np.int64),
+        }
+        n = len(chunk["sender_id"])
+        if any(len(arr) != n for arr in chunk.values()):
+            raise ValueError("all columns of a chunk must have the same length")
+        if (chunk["sender_id"].size and
+                (chunk["sender_id"].max(initial=-1) >= len(self._addresses)
+                 or chunk["receiver_id"].max(initial=-1) >= len(self._addresses))):
+            raise ValueError("sender/receiver ids must be interned before append_chunk")
+        first_row = self._num_rows
+        if tx_hashes is not None:
+            if len(tx_hashes) != n:
+                raise ValueError("tx_hashes length must match the chunk length")
+            for offset, tx_hash in enumerate(tx_hashes):
+                row = first_row + offset
+                if tx_hash != _derived_hash(row):
+                    self._explicit_hash_by_row[row] = tx_hash
+                    self._row_by_explicit_hash[tx_hash] = row
+        sub = chunk["submitted"]
+        if sub.any():
+            self._record_submitted_span(chunk["timestamp"][sub])
+        self._chunks.append(chunk)
+        self._num_rows += n
+        return first_row
+
+    def _flush_row_buffer(self) -> None:
+        buf = self._row_buffer
+        if not buf["sender_id"]:
+            return
+        self._chunks.append({
+            name: np.asarray(buf[name], dtype=dtype)
+            for name, dtype in _COLUMN_DTYPES})
+        self._row_buffer = {name: [] for name, _ in _COLUMN_DTYPES}
+
+    # --------------------------------------------------------------- columns
+    def columns(self) -> TxColumns:
+        """Consolidated column arrays over every registered row (all paths)."""
+        self._flush_row_buffer()
+        if self._chunks:
+            self._consolidated = {
+                name: np.concatenate([self._consolidated[name]]
+                                     + [chunk[name] for chunk in self._chunks])
+                for name, _ in _COLUMN_DTYPES}
+            self._chunks = []
+        return TxColumns(**self._consolidated)
+
+    # ---------------------------------------------------------------- hashes
+    def tx_hash(self, row: int) -> str:
+        """The hash of global row ``row`` (explicit if recorded, else derived)."""
+        explicit = self._explicit_hash_by_row.get(row)
+        return explicit if explicit is not None else _derived_hash(row)
+
+    def row_of_hash(self, tx_hash: str) -> int:
+        """The row holding ``tx_hash``; raises :class:`KeyError` when absent."""
+        row = self._row_by_explicit_hash.get(tx_hash)
+        if row is not None:
+            return row
+        if (len(tx_hash) == 66 and tx_hash.startswith("0x")):
+            try:
+                row = int(tx_hash, 16)
+            except ValueError:
+                row = -1
+            # A derived-pattern hash only matches a row that kept its default,
+            # and only in its canonical spelling (lowercase, zero-padded) —
+            # alternative spellings of the same integer are unknown hashes.
+            if (0 <= row < self._num_rows and row not in self._explicit_hash_by_row
+                    and tx_hash == _derived_hash(row)):
+                return row
+        raise KeyError(tx_hash)
+
+    # --------------------------------------------------------- materialising
+    def _materialize_from(self, cols: TxColumns, row: int) -> Transaction:
+        return Transaction(
+            tx_hash=self.tx_hash(row),
+            sender=self._addresses[cols.sender_id[row]],
+            receiver=self._addresses[cols.receiver_id[row]],
+            value=float(cols.value[row]),
+            gas_price=float(cols.gas_price[row]),
+            gas_used=int(cols.gas_used[row]),
+            timestamp=float(cols.timestamp[row]),
+            is_contract_call=bool(cols.is_contract_call[row]),
+            block_number=int(cols.block_number[row]),
+            submitted=bool(cols.submitted[row]),
+        )
+
+    def materialize(self, row: int) -> Transaction:
+        """Build the :class:`Transaction` object of global row ``row``."""
+        return self._materialize_from(self.columns(), row)
+
+    def materialize_rows(self, rows: Sequence[int] | np.ndarray) -> list[Transaction]:
+        cols = self.columns()
+        return [self._materialize_from(cols, int(row)) for row in rows]
+
+    def iter_transactions(self, include_unsubmitted: bool = False) -> Iterator[Transaction]:
+        """Materialise transactions lazily in row (= block) order."""
+        cols = self.columns()
+        submitted = cols.submitted
+        for row in range(self._num_rows):
+            if submitted[row] or include_unsubmitted:
+                yield self._materialize_from(cols, row)
+
+    # ------------------------------------------------------------- timespans
+    def submitted_timespan(self) -> tuple[float, float] | None:
+        """Incrementally maintained (min, max) timestamp over submitted rows."""
+        if self._submitted_ts_min is None:
+            return None
+        return (self._submitted_ts_min, self._submitted_ts_max)
+
+    # ---------------------------------------------------- per-address index
+    def _build_address_index(self) -> None:
+        """(Re)build the CSR per-address row index over the current rows.
+
+        Every row is indexed once under its sender and once under its
+        receiver, except self-transfers which are indexed exactly once —
+        ``transactions_for`` must not return the same transaction twice.
+        """
+        cols = self.columns()
+        n = self._num_rows
+        sender_ids = cols.sender_id
+        receiver_ids = cols.receiver_id
+        non_self = sender_ids != receiver_ids
+        rows = np.arange(n, dtype=np.int64)
+        owners = np.concatenate([sender_ids, receiver_ids[non_self]])
+        owner_rows = np.concatenate([rows, rows[non_self]])
+        order = np.lexsort((owner_rows, owners))
+        num_accounts = len(self._addresses)
+        counts = np.bincount(owners, minlength=num_accounts)
+        indptr = np.zeros(num_accounts + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._index_indptr = indptr
+        self._index_row_ids = owner_rows[order]
+        self._index_rows = n
+
+    def rows_for_address(self, address: str) -> np.ndarray:
+        """Row ids touching ``address`` (sender or receiver), in block order.
+
+        A self-transfer appears exactly once.  Returns an empty array for
+        addresses that never transacted.
+        """
+        account_id = self._addr_to_id.get(address)
+        if account_id is None:
+            return np.empty(0, dtype=np.int64)
+        if self._index_rows != self._num_rows:
+            self._build_address_index()
+        start = self._index_indptr[account_id]
+        stop = self._index_indptr[account_id + 1]
+        return self._index_row_ids[start:stop]

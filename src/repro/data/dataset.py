@@ -216,6 +216,14 @@ class SubgraphDatasetBuilder:
             self._graph = build_transaction_graph(self.ledger)
         return self._graph
 
+    def graph_if_built(self) -> TxGraph | None:
+        """The cached global graph, or ``None`` — never triggers the build.
+
+        Monitoring surfaces (e.g. ``DeAnonymizer.stats``) use this to report
+        graph sizes without paying for an O(T) construction.
+        """
+        return self._graph
+
     def build(self) -> SubgraphDataset:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)

@@ -119,15 +119,17 @@ class DeepFeatureExtractor:
     def extract_many(self, addresses: list[str]) -> np.ndarray:
         """Stack feature vectors for a list of addresses into an ``(n, 15)`` matrix.
 
-        Single vectorized pass over the ledger (O(T + n·15)): the transaction
-        stream is flattened into parallel value / timestamp / fee / account-id
-        arrays once, and every per-account statistic is computed with grouped
-        reductions (``bincount`` for the sequential sums, sorted ``reduceat``
-        for the interval stats) instead of filtering per-address transaction
-        lists once per account.  The result is bit-identical to stacking
-        per-address :meth:`extract` calls — including the double-counting of
-        self-transfers that :meth:`Ledger.transactions_for` exhibits, because a
-        self-transfer registers under both roles of the same address.
+        Single vectorized pass over the ledger's column arrays (O(T + n·15)):
+        the store's parallel value / timestamp / fee / account-id columns are
+        consumed directly — no ``Transaction`` is materialised — and every
+        per-account statistic is computed with grouped reductions
+        (``bincount`` for the sequential sums, sorted ``reduceat`` for the
+        interval stats) instead of filtering per-address transaction lists
+        once per account.  The result is bit-identical to stacking
+        per-address :meth:`extract` calls; a self-transfer counts exactly once
+        per role (once in the sender statistics, once in the receiver
+        statistics, once in NC), matching the deduplicated
+        :meth:`Ledger.transactions_for`.
         """
         if not addresses:
             return np.zeros((0, len(FEATURE_NAMES)))
@@ -143,54 +145,35 @@ class DeepFeatureExtractor:
         """The full per-account feature table, rebuilt when the ledger grows.
 
         Returns ``(features, account_ids)`` where ``features[account_ids[a]]``
-        is the Table I vector of address ``a``; addresses with no submitted
-        transactions are absent (their vector is all zeros).
+        is the Table I vector of address ``a``.  Row ids are the store's
+        interned account ids, so the table is computed straight from the
+        ledger's column arrays; addresses that never transacted are absent,
+        and addresses with only unsubmitted transactions hold all-zero rows.
         """
         key = (self.ledger.num_transactions, self.ledger.num_accounts)
         if key == self._table_key and self._table_features is not None:
             return self._table_features, self._table_ids
-        txs = list(self.ledger.transactions())
-        account_ids: dict[str, int] = {}
-        sender_ids = np.empty(len(txs), dtype=np.int64)
-        receiver_ids = np.empty(len(txs), dtype=np.int64)
-        next_id = 0
-        for i, tx in enumerate(txs):
-            idx = account_ids.get(tx.sender)
-            if idx is None:
-                idx = account_ids[tx.sender] = next_id
-                next_id += 1
-            sender_ids[i] = idx
-            idx = account_ids.get(tx.receiver)
-            if idx is None:
-                idx = account_ids[tx.receiver] = next_id
-                next_id += 1
-            receiver_ids[i] = idx
-        n_accounts = next_id
+        cols = self.ledger.tx_columns()
+        store = self.ledger.store
+        submitted = cols.submitted
+        account_ids = dict(store.address_ids)
+        n_accounts = store.num_addresses
         features = np.zeros((n_accounts, len(FEATURE_NAMES)))
-        if txs:
-            values = np.array([tx.value for tx in txs])
-            timestamps = np.array([tx.timestamp for tx in txs])
-            gas_price = np.array([tx.gas_price for tx in txs])
-            gas_used = np.array([tx.gas_used for tx in txs], dtype=np.float64)
-            fees = gas_price * gas_used / GWEI_PER_ETH
-            is_call = np.array([tx.is_contract_call for tx in txs], dtype=np.float64)
+        if submitted.any():
+            sender_ids = cols.sender_id[submitted]
+            receiver_ids = cols.receiver_id[submitted]
+            values = cols.value[submitted]
+            timestamps = cols.timestamp[submitted]
+            fees = (cols.gas_price[submitted]
+                    * cols.gas_used[submitted].astype(np.float64) / GWEI_PER_ETH)
+            is_call = cols.is_contract_call[submitted].astype(np.float64)
 
-            # NC counts each appearance in the combined per-address transaction
-            # list: one per role, so a self-transfer contributes exactly twice.
+            # NC counts the distinct transactions involving the account: one
+            # per tx, so a contract-call self-transfer contributes exactly
+            # once (the receiver pass skips self rows).
+            recv_call = np.where(sender_ids == receiver_ids, 0.0, is_call)
             features[:, 14] = (np.bincount(sender_ids, weights=is_call, minlength=n_accounts)
-                               + np.bincount(receiver_ids, weights=is_call, minlength=n_accounts))
-
-            # A self-transfer appears twice in ``transactions_for`` (it registers
-            # under both roles), so extract() sees it twice per role; np.repeat
-            # duplicates those events in place, preserving block order.
-            self_mask = sender_ids == receiver_ids
-            if self_mask.any():
-                repeats = np.where(self_mask, 2, 1)
-                values = np.repeat(values, repeats)
-                timestamps = np.repeat(timestamps, repeats)
-                fees = np.repeat(fees, repeats)
-                sender_ids = np.repeat(sender_ids, repeats)
-                receiver_ids = np.repeat(receiver_ids, repeats)
+                               + np.bincount(receiver_ids, weights=recv_call, minlength=n_accounts))
 
             for offset, ids in ((0, sender_ids), (5, receiver_ids)):
                 counts = np.bincount(ids, minlength=n_accounts).astype(np.float64)

@@ -10,10 +10,16 @@ __all__ = ["top_k_neighbors", "ego_subgraph"]
 
 
 def top_k_neighbors(graph: TxGraph, node: Hashable, k: int) -> list[Hashable]:
-    """Return up to ``k`` neighbours of ``node`` ranked by average transaction value.
+    """Return up to ``k`` neighbours of ``node``, highest-value first.
 
-    Ties on the average transaction value are broken by total transaction value
-    (Section III-B1), then by node identifier for determinism.
+    Each neighbour is scored by its **best per-direction average transaction
+    value**: for the (at most two) merged directed edges connecting it with
+    ``node``, the maximum of ``edge.amount / edge.count`` — the per-direction
+    mean transfer size of Section III-B1's value ranking.  Ties on that best
+    average are broken by the **total** amount transferred across both
+    directions (descending), and remaining ties by the string form of the
+    node identifier (ascending), so the ranking is fully deterministic.
+    Self-loops never rank.
     """
     scores: dict[Hashable, tuple[float, float]] = {}
     for other in graph.neighbors(node):

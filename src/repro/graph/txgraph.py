@@ -17,7 +17,7 @@ import numpy as np
 __all__ = ["Edge", "TxGraph"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """A merged directed edge between two accounts.
 
@@ -129,6 +129,183 @@ class TxGraph:
         self._edges[key] = edge
         self._out[src][dst] = edge
         self._in[dst][src] = edge
+
+    def add_edges_bulk(self, srcs, dsts, amounts=None, counts=None,
+                       timestamps=None, node_keys: list | None = None) -> None:
+        """Vectorised twin of calling :meth:`add_edge` once per row.
+
+        Parameters
+        ----------
+        srcs, dsts:
+            Per-transaction endpoint sequences.  With ``node_keys`` given they
+            must be integer arrays indexing into it (the columnar-store path:
+            interned account ids + the interning table); without it they are
+            node identifiers factorised internally.
+        amounts, counts, timestamps:
+            Per-transaction edge payloads (defaults: 0.0 / 1 / 0.0).
+        node_keys:
+            Optional id -> node-identifier table; lets callers that already
+            hold integer codes skip re-factorising string keys.
+
+        The result is bit-identical to the sequential loop: nodes are created
+        in first-appearance order scanning ``(src_0, dst_0, src_1, ...)``,
+        merged edges keep first-appearance order, per-edge amounts/counts are
+        the same left-fold sums, and merged timestamps replay ``add_edge``'s
+        iterative count-weighted mean recurrence (including the zero-count
+        guard).  Rows whose ordered pair already exists in the graph are
+        replayed through :meth:`add_edge` (merging into an existing edge is
+        inherently sequential); fresh pairs take the vectorised path.
+        """
+        srcs = np.asarray(srcs)
+        n = len(srcs)
+        if n == 0:
+            return
+        dsts = np.asarray(dsts)
+        if len(dsts) != n:
+            raise ValueError("srcs and dsts must have the same length")
+        amounts = (np.zeros(n) if amounts is None
+                   else np.ascontiguousarray(amounts, dtype=np.float64))
+        counts = (np.ones(n, dtype=np.int64) if counts is None
+                  else np.ascontiguousarray(counts, dtype=np.int64))
+        timestamps = (np.zeros(n) if timestamps is None
+                      else np.ascontiguousarray(timestamps, dtype=np.float64))
+        if node_keys is None:
+            if srcs.dtype == object or dsts.dtype == object:
+                # Non-vectorisable node identifiers: plain sequential loop.
+                for i in range(n):
+                    self.add_edge(srcs[i], dsts[i], float(amounts[i]),
+                                  int(counts[i]), float(timestamps[i]))
+                return
+            interleaved = np.empty(2 * n, dtype=np.promote_types(srcs.dtype, dsts.dtype))
+            interleaved[0::2] = srcs
+            interleaved[1::2] = dsts
+            uniq, first_pos, inverse = np.unique(
+                interleaved, return_index=True, return_inverse=True)
+            appearance = np.argsort(first_pos, kind="stable")
+            node_keys = uniq[appearance].tolist()
+            code_of = np.empty(len(uniq), dtype=np.int64)
+            code_of[appearance] = np.arange(len(uniq))
+            codes = code_of[inverse]
+            src_codes, dst_codes = codes[0::2], codes[1::2]
+        else:
+            src_codes = np.ascontiguousarray(srcs, dtype=np.int64)
+            dst_codes = np.ascontiguousarray(dsts, dtype=np.int64)
+
+        # Nodes, in first-appearance order over the interleaved endpoint scan.
+        if (src_codes.min() < 0 or dst_codes.min() < 0
+                or src_codes.max() >= len(node_keys)
+                or dst_codes.max() >= len(node_keys)):
+            raise ValueError("src/dst codes must index into the node_keys table")
+        interleaved_codes = np.empty(2 * n, dtype=np.int64)
+        interleaved_codes[0::2] = src_codes
+        interleaved_codes[1::2] = dst_codes
+        uniq_codes, first_pos = np.unique(interleaved_codes, return_index=True)
+        nodes = self._nodes
+        node_order = self._node_order
+        node_attrs = self._node_attrs
+        out_index = self._out
+        in_index = self._in
+        for pos in np.sort(first_pos).tolist():
+            node = node_keys[interleaved_codes[pos]]
+            if node not in nodes:
+                nodes[node] = len(node_order)
+                node_order.append(node)
+                node_attrs[node] = {}
+                out_index[node] = {}
+                in_index[node] = {}
+
+        # Merged edges: group rows by ordered (src, dst) pair.
+        num_keys = len(node_keys)
+        pair_keys = src_codes * np.int64(num_keys) + dst_codes
+        uniq_pairs, pair_first, pair_inverse = np.unique(
+            pair_keys, return_index=True, return_inverse=True)
+        # Rows whose pair already exists must merge sequentially.
+        existing_pair_mask = np.zeros(len(uniq_pairs), dtype=bool)
+        if self._edges:
+            for j, pair in enumerate(uniq_pairs):
+                key = (node_keys[pair // num_keys], node_keys[pair % num_keys])
+                existing_pair_mask[j] = key in self._edges
+        if existing_pair_mask.any():
+            replay = existing_pair_mask[pair_inverse]
+            for i in np.flatnonzero(replay):
+                self.add_edge(node_keys[src_codes[i]], node_keys[dst_codes[i]],
+                              float(amounts[i]), int(counts[i]), float(timestamps[i]))
+            keep = ~replay
+            if not keep.any():
+                return
+            src_codes, dst_codes = src_codes[keep], dst_codes[keep]
+            amounts, counts, timestamps = amounts[keep], counts[keep], timestamps[keep]
+            pair_keys = pair_keys[keep]
+            uniq_pairs, pair_first, pair_inverse = np.unique(
+                pair_keys, return_index=True, return_inverse=True)
+
+        # Edge groups in first-appearance order.
+        pair_appearance = np.argsort(pair_first, kind="stable")
+        edge_rank = np.empty(len(uniq_pairs), dtype=np.int64)
+        edge_rank[pair_appearance] = np.arange(len(uniq_pairs))
+        groups = edge_rank[pair_inverse]
+        num_edges_new = len(uniq_pairs)
+        order = np.argsort(groups, kind="stable")     # rows grouped, row order kept
+        sizes = np.bincount(groups, minlength=num_edges_new)
+        starts = np.zeros(num_edges_new, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        # Left-fold sums per group: bincount accumulates one element at a time
+        # in array order, exactly the sequence of adds the per-row add_edge
+        # merge performs (np.add.reduceat would sum pairwise and drift in the
+        # last ulp for long groups).
+        edge_amounts = np.bincount(groups, weights=amounts, minlength=num_edges_new)
+        edge_counts = np.bincount(groups, weights=counts.astype(np.float64),
+                                  minlength=num_edges_new).astype(np.int64)
+        single = sizes == 1
+        if single.any():
+            # A size-1 group's merged amount is the raw value itself (bincount
+            # starts from +0.0, which would flip the sign of a lone -0.0).
+            edge_amounts[single] = amounts[order[starts[single]]]
+        # Merged timestamps: replay add_edge's iterative count-weighted mean,
+        # vectorised across edges, sequential within each group.
+        ts_acc = np.zeros(num_edges_new)
+        cnt_acc = np.zeros(num_edges_new, dtype=np.int64)
+        k = 0
+        active = np.arange(num_edges_new)
+        while len(active):
+            rows = order[starts[active] + k]
+            t_k = timestamps[rows]
+            c_k = counts[rows]
+            if k == 0:
+                ts_acc[active] = t_k
+                cnt_acc[active] = c_k
+            else:
+                prev_ts = ts_acc[active]
+                prev_cnt = cnt_acc[active]
+                total = prev_cnt + c_k
+                positive = total > 0
+                merged = prev_ts.copy()
+                merged[positive] = ((prev_ts[positive] * prev_cnt[positive]
+                                     + t_k[positive] * c_k[positive])
+                                    / total[positive])
+                ts_acc[active] = merged
+                cnt_acc[active] = total
+            k += 1
+            active = active[sizes[active] > k]
+
+        # Materialise the merged edges in first-appearance order.  tolist()
+        # hands the loop native python scalars, so the body is just the Edge
+        # construction plus the three index-dict stores.
+        src_nodes = [node_keys[c] for c in (uniq_pairs // num_keys)[pair_appearance].tolist()]
+        dst_nodes = [node_keys[c] for c in (uniq_pairs % num_keys)[pair_appearance].tolist()]
+        edges = self._edges
+        edge_seq = self._edge_seq
+        seq = len(edges)
+        for src, dst, amount, count, ts in zip(
+                src_nodes, dst_nodes, edge_amounts.tolist(),
+                edge_counts.tolist(), ts_acc.tolist()):
+            edge = Edge(src, dst, amount, count, ts)
+            key = (src, dst)
+            edge_seq[key] = seq
+            seq += 1
+            edges[key] = edge
+            out_index[src][dst] = edge
+            in_index[dst][src] = edge
 
     def has_edge(self, src: Hashable, dst: Hashable) -> bool:
         return (src, dst) in self._edges

@@ -262,3 +262,27 @@ class TestStateFiles:
             '"format_version": 1', '"format_version": 999'))
         with pytest.raises(StateFormatError, match="version"):
             load_state(tmp_path / "m")
+
+
+class TestStats:
+    def test_stats_without_ledger(self, dataset_only_facade):
+        stats = dataset_only_facade.stats()
+        assert stats["ledger"] is None
+        assert stats["fitted_heads"] == ["exchange"]
+        assert stats["cached_samples"] == len(dataset_only_facade._samples)
+
+    def test_stats_reports_ledger_counters(self, facade, small_ledger):
+        stats = facade.stats()
+        assert stats["ledger"]["num_transactions"] == small_ledger.num_transactions
+        assert stats["ledger"]["num_accounts"] == small_ledger.num_accounts
+        assert stats["ledger"]["timespan"] == small_ledger.timespan()
+        assert set(stats["fitted_heads"]) == set(CATEGORIES)
+
+    def test_stats_does_not_force_graph_build(self, small_ledger):
+        deanon = DeAnonymizer(small_ledger)
+        stats = deanon.stats()
+        assert stats["graph"] is None
+        assert stats["dataset_built"] is False
+        # After touching the builder's graph the sizes show up.
+        _ = deanon.builder.graph
+        assert deanon.stats()["graph"]["num_nodes"] > 0

@@ -111,6 +111,32 @@ class TestLedgerBlocks:
         ledger = Ledger(genesis_timestamp=42.0)
         assert ledger.timespan() == (42.0, 42.0)
 
+    def test_timespan_unsubmitted_only_falls_back_to_genesis(self):
+        ledger = Ledger(genesis_timestamp=42.0)
+        ledger.append_block(Block(0, 1000.0, [make_tx(0, submitted=False)]))
+        assert ledger.timespan() == (42.0, 42.0)
+
+    def test_timespan_is_incremental_across_blocks(self):
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [make_tx(0, timestamp=500.0)]))
+        assert ledger.timespan() == (500.0, 500.0)
+        ledger.append_block(Block(1, 1012.0, [make_tx(1, timestamp=100.0),
+                                              make_tx(2, timestamp=900.0, submitted=False)]))
+        # The unsubmitted timestamp (900.0) must not widen the span.
+        assert ledger.timespan() == (100.0, 500.0)
+
+    def test_self_transfer_returned_once(self):
+        """Regression: a self-transfer used to be indexed under both roles and
+        returned twice by ``transactions_for``."""
+        ledger = Ledger()
+        ledger.append_block(Block(0, 1000.0, [
+            make_tx(0, sender="0xaa", receiver="0xaa"),
+            make_tx(1, sender="0xaa", receiver="0xbb"),
+        ]))
+        txs = ledger.transactions_for("0xaa")
+        assert [tx.tx_hash for tx in txs] == ["0x0000", "0x0001"]
+        assert len(ledger.transactions_for("0xaa", include_unsubmitted=True)) == 2
+
     def test_summary_keys(self, small_ledger):
         summary = small_ledger.summary()
         assert {"num_accounts", "num_transactions", "num_labeled", "label_counts"} <= set(summary)

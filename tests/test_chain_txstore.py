@@ -1,0 +1,206 @@
+"""Tests for the columnar transaction store backing the ledger."""
+
+import numpy as np
+import pytest
+
+from repro.chain import Account, Block, ColumnarTxStore, Ledger, Transaction
+
+
+def make_tx(i, sender="0xaa", receiver="0xbb", submitted=True, **kwargs):
+    defaults = dict(value=1.0 + i, gas_price=20.0, gas_used=21_000,
+                    timestamp=1000.0 + i, is_contract_call=False)
+    defaults.update(kwargs)
+    return Transaction(tx_hash=f"0x{i:04x}", sender=sender, receiver=receiver,
+                       submitted=submitted, **defaults)
+
+
+class TestInterning:
+    def test_intern_assigns_dense_ids(self):
+        store = ColumnarTxStore()
+        assert store.intern("0xaa") == 0
+        assert store.intern("0xbb") == 1
+        assert store.intern("0xaa") == 0
+        assert store.addresses == ["0xaa", "0xbb"]
+        assert store.num_addresses == 2
+
+    def test_intern_pairs_interleaves_first_appearance(self):
+        store = ColumnarTxStore()
+        sender_ids, receiver_ids = store.intern_pairs(
+            ["0xs1", "0xs2"], ["0xr1", "0xs1"])
+        # Scan order: s1, r1, s2, s1 -> ids 0, 1, 2, 0.
+        assert sender_ids.tolist() == [0, 2]
+        assert receiver_ids.tolist() == [1, 0]
+        assert store.addresses == ["0xs1", "0xr1", "0xs2"]
+
+    def test_address_id_of_unknown_is_none(self):
+        assert ColumnarTxStore().address_id("0xnope") is None
+
+
+class TestAppendPaths:
+    def test_object_and_chunk_paths_agree(self):
+        object_store = ColumnarTxStore()
+        txs = [make_tx(0), make_tx(1, sender="0xcc", value=2.5),
+               make_tx(2, receiver="0xcc", submitted=False)]
+        for tx in txs:
+            object_store.append_tx(tx)
+
+        chunk_store = ColumnarTxStore()
+        sender_ids, receiver_ids = chunk_store.intern_pairs(
+            [t.sender for t in txs], [t.receiver for t in txs])
+        chunk_store.append_chunk(
+            sender_ids, receiver_ids,
+            np.array([t.value for t in txs]),
+            np.array([t.gas_price for t in txs]),
+            np.array([t.gas_used for t in txs]),
+            np.array([t.timestamp for t in txs]),
+            np.array([t.is_contract_call for t in txs]),
+            np.array([t.submitted for t in txs]),
+            np.array([t.block_number for t in txs]),
+            tx_hashes=[t.tx_hash for t in txs])
+
+        a, b = object_store.columns(), chunk_store.columns()
+        for name in ("sender_id", "receiver_id", "value", "gas_price", "gas_used",
+                     "timestamp", "is_contract_call", "submitted", "block_number"):
+            np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+        assert object_store.materialize_rows(range(3)) == chunk_store.materialize_rows(range(3))
+
+    def test_materialize_round_trips_transactions(self):
+        store = ColumnarTxStore()
+        tx = make_tx(5, value=3.25, gas_price=42.5, is_contract_call=True,
+                     block_number=9)
+        store.append_tx(tx)
+        assert store.materialize(0) == tx
+
+    def test_chunk_requires_interned_ids(self):
+        store = ColumnarTxStore()
+        with pytest.raises(ValueError):
+            store.append_chunk(
+                np.array([0]), np.array([1]), np.ones(1), np.ones(1),
+                np.ones(1, dtype=np.int64), np.ones(1), np.zeros(1, dtype=bool),
+                np.ones(1, dtype=bool), np.zeros(1, dtype=np.int64))
+
+    def test_mixed_paths_keep_row_order(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0))
+        sender_ids, receiver_ids = store.intern_pairs(["0xcc"], ["0xdd"])
+        store.append_chunk(sender_ids, receiver_ids, np.array([9.0]),
+                           np.array([30.0]), np.array([21_000]),
+                           np.array([2000.0]), np.array([False]),
+                           np.array([True]), np.array([1]))
+        store.append_tx(make_tx(2, timestamp=3000.0))
+        cols = store.columns()
+        assert cols.timestamp.tolist() == [1000.0, 2000.0, 3000.0]
+        assert store.num_rows == 3
+
+
+class TestHashes:
+    def test_derived_hashes_cost_no_storage(self):
+        store = ColumnarTxStore()
+        sender_ids, receiver_ids = store.intern_pairs(["0xaa"] * 3, ["0xbb"] * 3)
+        store.append_chunk(sender_ids, receiver_ids, np.ones(3), np.ones(3),
+                           np.full(3, 21_000), np.arange(3, dtype=float),
+                           np.zeros(3, dtype=bool), np.ones(3, dtype=bool),
+                           np.zeros(3, dtype=np.int64))
+        assert store.tx_hash(2) == f"0x{2:064x}"
+        assert store.row_of_hash(f"0x{1:064x}") == 1
+        assert store._explicit_hash_by_row == {}
+
+    def test_explicit_hashes_round_trip(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0))
+        assert store.tx_hash(0) == "0x0000"
+        assert store.row_of_hash("0x0000") == 0
+
+    def test_unknown_hash_raises(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0))
+        with pytest.raises(KeyError):
+            store.row_of_hash("0xmissing")
+        # A derived-pattern hash beyond the row count is also unknown.
+        with pytest.raises(KeyError):
+            store.row_of_hash(f"0x{99:064x}")
+
+    def test_non_canonical_derived_spelling_is_unknown(self):
+        """Only the canonical lowercase zero-padded spelling resolves."""
+        store = ColumnarTxStore()
+        sender_ids, receiver_ids = store.intern_pairs(["0xaa"] * 300, ["0xbb"] * 300)
+        store.append_chunk(sender_ids, receiver_ids, np.ones(300), np.ones(300),
+                           np.full(300, 21_000), np.arange(300, dtype=float),
+                           np.zeros(300, dtype=bool), np.ones(300, dtype=bool),
+                           np.zeros(300, dtype=np.int64))
+        assert store.row_of_hash(f"0x{255:064x}") == 255
+        with pytest.raises(KeyError):
+            store.row_of_hash("0x" + "0" * 62 + "FF")   # uppercase spelling of 255
+
+    def test_explicit_hash_shadows_derived_pattern(self):
+        """A row with an explicit hash must not be reachable via its derived one."""
+        store = ColumnarTxStore()
+        tx = Transaction(tx_hash="0xfeed", sender="0xaa", receiver="0xbb",
+                         value=1.0, gas_price=1.0, gas_used=21_000, timestamp=1.0)
+        store.append_tx(tx)
+        assert store.row_of_hash("0xfeed") == 0
+        with pytest.raises(KeyError):
+            store.row_of_hash(f"0x{0:064x}")
+
+
+class TestAddressIndex:
+    def test_rows_in_block_order(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, sender="0xaa", receiver="0xbb"))
+        store.append_tx(make_tx(1, sender="0xcc", receiver="0xaa"))
+        store.append_tx(make_tx(2, sender="0xcc", receiver="0xdd"))
+        assert store.rows_for_address("0xaa").tolist() == [0, 1]
+        assert store.rows_for_address("0xcc").tolist() == [1, 2]
+        assert store.rows_for_address("0xzz").tolist() == []
+
+    def test_self_transfer_indexed_once(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, sender="0xaa", receiver="0xaa"))
+        store.append_tx(make_tx(1, sender="0xaa", receiver="0xbb"))
+        assert store.rows_for_address("0xaa").tolist() == [0, 1]
+
+    def test_index_extends_after_append(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, sender="0xaa", receiver="0xbb"))
+        assert store.rows_for_address("0xaa").tolist() == [0]
+        store.append_tx(make_tx(1, sender="0xbb", receiver="0xaa"))
+        assert store.rows_for_address("0xaa").tolist() == [0, 1]
+
+
+class TestTimespan:
+    def test_submitted_timespan_tracks_min_max(self):
+        store = ColumnarTxStore()
+        assert store.submitted_timespan() is None
+        store.append_tx(make_tx(0, timestamp=500.0))
+        store.append_tx(make_tx(1, timestamp=100.0))
+        assert store.submitted_timespan() == (100.0, 500.0)
+
+    def test_unsubmitted_rows_do_not_count(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, timestamp=500.0, submitted=False))
+        assert store.submitted_timespan() is None
+
+
+class TestLedgerBoundary:
+    def test_blocks_materialise_lazily_and_equal_object_path(self):
+        ledger = Ledger()
+        ledger.add_account(Account("0xaa"))
+        block = Block(3, 1010.0, [make_tx(0), make_tx(1)])
+        ledger.append_block(block)
+        [rebuilt] = ledger.blocks
+        assert rebuilt.number == 3
+        assert rebuilt.timestamp == 1010.0
+        assert rebuilt.transactions == block.transactions
+
+    def test_columnar_blocks_continue_numbering(self):
+        ledger = Ledger()
+        ledger.append_block(Block(4, 1000.0, [make_tx(0)]))
+        ledger.append_blocks_columnar(
+            ["0xaa"] * 3, ["0xbb"] * 3, np.ones(3), np.ones(3),
+            np.full(3, 21_000), np.array([1100.0, 1200.0, 1300.0]),
+            np.zeros(3, dtype=bool), np.ones(3, dtype=bool),
+            transactions_per_block=2)
+        numbers = [b.number for b in ledger.blocks]
+        assert numbers == [4, 5, 6]
+        assert [b.timestamp for b in ledger.blocks][1:] == [1200.0, 1300.0]
+        assert ledger.num_transactions == 4

@@ -97,6 +97,52 @@ class TestFeatureDefinitions:
         assert dict(zip(FEATURE_NAMES, vector))["NTS"] == 1
 
 
+class TestSelfTransferCounting:
+    """Regression: self-transfers were double-counted per role (they used to
+    appear twice in ``Ledger.transactions_for``)."""
+
+    @staticmethod
+    def build_self_transfer_ledger() -> Ledger:
+        ledger = Ledger()
+        for address in ("0xaa", "0xbb"):
+            ledger.add_account(Account(address))
+        ledger.append_block(Block(0, 3000.0, [
+            # One self-transfer (a contract call) and one ordinary send.
+            Transaction("0x1", "0xaa", "0xaa", 3.0, 50.0, 90_000, 1000.0,
+                        is_contract_call=True),
+            Transaction("0x2", "0xaa", "0xbb", 5.0, 40.0, 21_000, 1500.0),
+        ]))
+        return ledger
+
+    def test_self_transfer_counts_once_per_role(self):
+        ledger = self.build_self_transfer_ledger()
+        features = dict(zip(FEATURE_NAMES, DeepFeatureExtractor(ledger).extract("0xaa")))
+        assert features["NTS"] == 2            # the self-transfer + the send
+        assert features["STV"] == pytest.approx(8.0)
+        assert features["NTR"] == 1            # the self-transfer, once
+        assert features["RTV"] == pytest.approx(3.0)
+        assert features["NC"] == 1             # one contract-call transaction
+        self_fee = 50.0 * 90_000 / 1e9
+        send_fee = 40.0 * 21_000 / 1e9
+        assert features["SETF"] == pytest.approx(self_fee + send_fee)
+        assert features["RETF"] == pytest.approx(self_fee)
+
+    def test_extract_many_parity_with_self_transfers(self):
+        ledger = self.build_self_transfer_ledger()
+        extractor = DeepFeatureExtractor(ledger)
+        looped = np.vstack([extractor.extract(a) for a in ("0xaa", "0xbb")])
+        batched = DeepFeatureExtractor(ledger).extract_many(["0xaa", "0xbb"])
+        np.testing.assert_array_equal(looped, batched)
+
+    def test_intervals_see_self_transfer_once(self):
+        ledger = self.build_self_transfer_ledger()
+        features = dict(zip(FEATURE_NAMES, DeepFeatureExtractor(ledger).extract("0xaa")))
+        # Send timestamps are [1000, 1500]: one 500s gap (a duplicated
+        # self-transfer would have produced a spurious 0s minimum gap).
+        assert features["min_STI"] == pytest.approx(500.0)
+        assert features["max_STI"] == pytest.approx(500.0)
+
+
 class TestCategoryFeatureMatrix:
     def test_output_shape(self, small_dataset):
         grouped = category_feature_matrix(small_dataset.feature_matrix())

@@ -64,6 +64,35 @@ class TestBuildTransactionGraph:
         assert graph_value == pytest.approx(submitted_value, rel=1e-6)
 
 
+class TestColumnarGraphParity:
+    """The columnar bulk ingest must produce a bit-identical graph."""
+
+    def test_bit_identical_to_object_path(self, small_ledger):
+        columnar = build_transaction_graph(small_ledger, columnar=True)
+        objects = build_transaction_graph(small_ledger, columnar=False)
+        assert columnar.nodes == objects.nodes
+        assert [(e.src, e.dst) for e in columnar.edges] \
+            == [(e.src, e.dst) for e in objects.edges]
+        for ec, eo in zip(columnar.edges, objects.edges):
+            assert ec.amount == eo.amount        # bitwise, no approx
+            assert ec.count == eo.count
+            assert ec.timestamp == eo.timestamp
+        for node in columnar.nodes:
+            assert columnar.node_attr(node, "is_contract") \
+                == objects.node_attr(node, "is_contract")
+            assert columnar.node_attr(node, "label") == objects.node_attr(node, "label")
+
+    def test_min_value_filter_matches(self, small_ledger):
+        columnar = build_transaction_graph(small_ledger, min_value=0.5, columnar=True)
+        objects = build_transaction_graph(small_ledger, min_value=0.5, columnar=False)
+        assert columnar.nodes == objects.nodes
+        assert columnar.num_edges == objects.num_edges
+
+    def test_nodes_are_plain_strings(self, small_ledger):
+        graph = build_transaction_graph(small_ledger)
+        assert all(type(node) is str for node in graph.nodes)
+
+
 class TestEvolutionTimes:
     def test_values_in_unit_interval(self, toy_graph):
         times = transaction_evolution_times(toy_graph)

@@ -1,0 +1,112 @@
+"""Degenerate-graph edge cases across slicing, centrality and sampling.
+
+Empty graphs, single nodes (with and without self-loops) and graphs whose
+edges all share one timestamp must neither crash nor diverge between the
+dense and CSR slicers, and every centrality must return finite values.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.slicing import time_slice_adjacency, time_slice_csr
+from repro.graph import TxGraph, ego_subgraph
+from repro.graph.centrality import (
+    degree_centrality,
+    edge_centrality,
+    eigenvector_centrality,
+    pagerank_centrality,
+)
+
+
+def empty_graph() -> TxGraph:
+    return TxGraph()
+
+
+def single_node_graph() -> TxGraph:
+    g = TxGraph()
+    g.add_node("solo")
+    return g
+
+
+def self_loop_graph() -> TxGraph:
+    g = TxGraph()
+    g.add_edge("solo", "solo", amount=2.0, timestamp=100.0)
+    return g
+
+
+def same_timestamp_graph() -> TxGraph:
+    g = TxGraph()
+    g.add_edge("a", "b", amount=1.0, timestamp=500.0)
+    g.add_edge("b", "c", amount=2.0, timestamp=500.0)
+    g.add_edge("c", "a", amount=3.0, timestamp=500.0)
+    g.add_edge("a", "a", amount=4.0, timestamp=500.0)
+    return g
+
+
+DEGENERATE_BUILDERS = [empty_graph, single_node_graph, self_loop_graph,
+                       same_timestamp_graph]
+
+
+class TestSlicerParity:
+    @pytest.mark.parametrize("builder", DEGENERATE_BUILDERS)
+    @pytest.mark.parametrize("num_slices", [1, 3])
+    @pytest.mark.parametrize("weighted", [True, False])
+    @pytest.mark.parametrize("cumulative", [True, False])
+    def test_csr_equals_dense(self, builder, num_slices, weighted, cumulative):
+        graph = builder()
+        dense = time_slice_adjacency(graph, num_slices, weighted=weighted,
+                                     cumulative=cumulative)
+        sparse = time_slice_csr(graph, num_slices, weighted=weighted,
+                                cumulative=cumulative)
+        assert len(dense) == len(sparse) == num_slices
+        for dense_slice, sparse_slice in zip(dense, sparse):
+            np.testing.assert_array_equal(sparse_slice.to_dense(), dense_slice)
+
+    def test_same_timestamp_edges_all_land_in_first_slice(self):
+        graph = same_timestamp_graph()
+        slices = time_slice_adjacency(graph, 4, weighted=True)
+        assert slices[0].sum() > 0
+        for later in slices[1:]:
+            assert later.sum() == 0.0
+
+
+class TestCentralitiesFinite:
+    @pytest.mark.parametrize("builder", DEGENERATE_BUILDERS)
+    @pytest.mark.parametrize("centrality", [degree_centrality,
+                                            eigenvector_centrality,
+                                            pagerank_centrality])
+    def test_node_centralities_finite(self, builder, centrality):
+        graph = builder()
+        scores = centrality(graph)
+        assert set(scores) == set(graph.nodes)
+        assert all(math.isfinite(v) for v in scores.values())
+
+    @pytest.mark.parametrize("builder", DEGENERATE_BUILDERS)
+    @pytest.mark.parametrize("measure", ["degree", "eigenvector", "pagerank"])
+    def test_edge_centralities_finite(self, builder, measure):
+        graph = builder()
+        scores = edge_centrality(graph, measure=measure)
+        assert len(scores) == graph.num_edges
+        assert all(math.isfinite(v) for v in scores.values())
+
+    def test_empty_graph_returns_empty_dicts(self):
+        graph = empty_graph()
+        assert eigenvector_centrality(graph) == {}
+        assert pagerank_centrality(graph) == {}
+        assert degree_centrality(graph) == {}
+
+
+class TestDegenerateSampling:
+    def test_ego_subgraph_of_isolated_node_is_itself(self):
+        graph = single_node_graph()
+        sub = ego_subgraph(graph, "solo", hops=2, k=10)
+        assert sub.nodes == ["solo"]
+        assert sub.num_edges == 0
+
+    def test_ego_subgraph_of_self_loop_node_keeps_loop(self):
+        graph = self_loop_graph()
+        sub = ego_subgraph(graph, "solo", hops=2, k=10)
+        assert sub.nodes == ["solo"]
+        assert sub.num_edges == 1

@@ -45,6 +45,31 @@ class TestTopKNeighbors:
         g.add_edge("c", "other", amount=1.0)
         assert top_k_neighbors(g, "c", k=5) == ["other"]
 
+    def test_best_direction_average_ranks_not_combined_average(self):
+        g = TxGraph()
+        # 'split': two directed edges, averages 9 and 1 -> best average 9.
+        g.add_edge("c", "split", amount=9.0)
+        g.add_edge("split", "c", amount=1.0)
+        # 'flat': one edge of average 6 but a larger total (12 > 10).
+        g.add_edge("c", "flat", amount=12.0)
+        g.add_edge("c", "flat", amount=0.0)   # merges: total 12, avg 6
+        assert top_k_neighbors(g, "c", k=2) == ["split", "flat"]
+
+    def test_equal_averages_tie_break_on_total(self):
+        g = TxGraph()
+        # Both neighbours have best average 5.0; 'big' moved more in total.
+        g.add_edge("c", "small", amount=5.0)
+        g.add_edge("c", "big", amount=5.0)
+        g.add_edge("big", "c", amount=3.0)    # raises total to 8, avg stays 5
+        assert top_k_neighbors(g, "c", k=2) == ["big", "small"]
+
+    def test_equal_scores_tie_break_on_node_id(self):
+        g = TxGraph()
+        # Insert in non-lexicographic order; identical (avg, total) scores.
+        for other in ("nb", "na", "nc"):
+            g.add_edge("c", other, amount=5.0)
+        assert top_k_neighbors(g, "c", k=3) == ["na", "nb", "nc"]
+
 
 class TestEgoSubgraph:
     def test_one_hop_excludes_two_hop_nodes(self, ranked_graph):

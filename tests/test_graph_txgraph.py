@@ -146,3 +146,126 @@ def test_subgraph_never_gains_edges(pairs):
     sub = g.subgraph(list(g.nodes)[: max(1, g.num_nodes // 2)])
     assert sub.num_edges <= g.num_edges
     assert sub.num_nodes <= g.num_nodes
+
+
+def _assert_graphs_bit_identical(a: TxGraph, b: TxGraph) -> None:
+    assert a.nodes == b.nodes
+    assert [(e.src, e.dst) for e in a.edges] == [(e.src, e.dst) for e in b.edges]
+    for ea, eb in zip(a.edges, b.edges):
+        assert ea.amount == eb.amount          # bitwise, no approx
+        assert ea.count == eb.count
+        assert ea.timestamp == eb.timestamp
+
+
+class TestAddEdgesBulk:
+    """add_edges_bulk must be bit-identical to the sequential add_edge loop."""
+
+    @staticmethod
+    def random_stream(rng, n, num_nodes=9, self_loops=True):
+        srcs = rng.integers(0, num_nodes, size=n)
+        dsts = rng.integers(0, num_nodes, size=n)
+        if not self_loops:
+            dsts = np.where(dsts == srcs, (dsts + 1) % num_nodes, dsts)
+        amounts = rng.lognormal(0.0, 1.0, size=n)
+        timestamps = rng.uniform(0.0, 1e6, size=n)
+        return srcs, dsts, amounts, timestamps
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_sequential_add_edge(self, seed):
+        rng = np.random.default_rng(seed)
+        srcs, dsts, amounts, timestamps = self.random_stream(rng, 400)
+        sequential = TxGraph()
+        for i in range(len(srcs)):
+            sequential.add_edge(int(srcs[i]), int(dsts[i]),
+                                amount=float(amounts[i]), count=1,
+                                timestamp=float(timestamps[i]))
+        bulk = TxGraph()
+        bulk.add_edges_bulk(srcs, dsts, amounts=amounts, timestamps=timestamps)
+        _assert_graphs_bit_identical(sequential, bulk)
+
+    def test_matches_with_node_keys_table(self):
+        rng = np.random.default_rng(5)
+        srcs, dsts, amounts, timestamps = self.random_stream(rng, 300)
+        node_keys = [f"0x{i:02d}" for i in range(9)]
+        sequential = TxGraph()
+        for i in range(len(srcs)):
+            sequential.add_edge(node_keys[srcs[i]], node_keys[dsts[i]],
+                                amount=float(amounts[i]), count=1,
+                                timestamp=float(timestamps[i]))
+        bulk = TxGraph()
+        bulk.add_edges_bulk(srcs, dsts, amounts=amounts, timestamps=timestamps,
+                            node_keys=node_keys)
+        _assert_graphs_bit_identical(sequential, bulk)
+        assert all(isinstance(node, str) for node in bulk.nodes)
+
+    def test_variable_counts_and_zero_count_guard(self):
+        rng = np.random.default_rng(9)
+        srcs, dsts, amounts, timestamps = self.random_stream(rng, 200, num_nodes=4)
+        counts = rng.integers(0, 3, size=len(srcs))
+        sequential = TxGraph()
+        for i in range(len(srcs)):
+            sequential.add_edge(int(srcs[i]), int(dsts[i]),
+                                amount=float(amounts[i]), count=int(counts[i]),
+                                timestamp=float(timestamps[i]))
+        bulk = TxGraph()
+        bulk.add_edges_bulk(srcs, dsts, amounts=amounts, counts=counts,
+                            timestamps=timestamps)
+        _assert_graphs_bit_identical(sequential, bulk)
+
+    def test_merges_into_existing_graph(self):
+        rng = np.random.default_rng(11)
+        srcs, dsts, amounts, timestamps = self.random_stream(rng, 120, num_nodes=5)
+        sequential = TxGraph()
+        bulk = TxGraph()
+        for g in (sequential, bulk):
+            g.add_edge(0, 1, amount=2.0, timestamp=10.0)
+            g.add_edge(4, 2, amount=1.0, timestamp=20.0)
+        for i in range(len(srcs)):
+            sequential.add_edge(int(srcs[i]), int(dsts[i]),
+                                amount=float(amounts[i]), count=1,
+                                timestamp=float(timestamps[i]))
+        bulk.add_edges_bulk(srcs, dsts, amounts=amounts, timestamps=timestamps)
+        _assert_graphs_bit_identical(sequential, bulk)
+
+    def test_empty_stream_is_a_noop(self):
+        g = TxGraph()
+        g.add_edges_bulk(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_out_of_range_codes_raise(self):
+        g = TxGraph()
+        with pytest.raises(ValueError):
+            g.add_edges_bulk(np.array([0, 3]), np.array([1, 0]),
+                             node_keys=["a", "b"])
+        with pytest.raises(ValueError):
+            # Negative codes must not wrap around via python indexing.
+            g.add_edges_bulk(np.array([0, -1]), np.array([1, 0]),
+                             node_keys=["a", "b"])
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_object_dtype_falls_back_to_sequential(self):
+        bulk = TxGraph()
+        bulk.add_edges_bulk(np.array(["a", "a"], dtype=object),
+                            np.array(["b", "c"], dtype=object),
+                            amounts=np.array([1.0, 2.0]),
+                            timestamps=np.array([5.0, 6.0]))
+        assert bulk.nodes == ["a", "b", "c"]
+        assert bulk.num_edges == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6),
+              st.floats(0.001, 100.0, allow_nan=False),
+              st.floats(0.0, 1000.0, allow_nan=False)),
+    min_size=1, max_size=50))
+def test_add_edges_bulk_property_parity(rows):
+    sequential = TxGraph()
+    for src, dst, amount, ts in rows:
+        sequential.add_edge(src, dst, amount=amount, timestamp=ts)
+    bulk = TxGraph()
+    bulk.add_edges_bulk(np.array([r[0] for r in rows]),
+                        np.array([r[1] for r in rows]),
+                        amounts=np.array([r[2] for r in rows]),
+                        timestamps=np.array([r[3] for r in rows]))
+    _assert_graphs_bit_identical(sequential, bulk)
