@@ -13,6 +13,9 @@ from benchmarks.conftest import BENCH_EPOCHS, record_result
 from repro.calibration import NONPARAMETRIC_METHODS, PARAMETRIC_METHODS
 from repro.experiments import calibration_weight_table
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 CATEGORIES = ["exchange", "ico-wallet", "mining", "phish/hack"]
 

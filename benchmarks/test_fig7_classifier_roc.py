@@ -11,6 +11,9 @@ import numpy as np
 from benchmarks.conftest import BENCH_EPOCHS, record_result
 from repro.experiments import classifier_roc_study
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 
 def run(dataset):

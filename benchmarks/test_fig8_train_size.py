@@ -11,6 +11,9 @@ import numpy as np
 from benchmarks.conftest import BENCH_EPOCHS, record_result
 from repro.experiments import run_training_size_sweep
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 FRACTIONS = (0.2, 0.3, 0.5)
 

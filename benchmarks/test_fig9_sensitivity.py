@@ -13,6 +13,9 @@ from benchmarks.conftest import BENCH_EPOCHS, record_result
 from repro.core.augmentation import AugmentationConfig
 from repro.experiments import sensitivity_study
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 AUGMENTATION_PROBS = (0.1, 0.4, 0.8)
 POOLING_LAYERS = (1, 2, 3)

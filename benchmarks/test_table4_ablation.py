@@ -10,6 +10,9 @@ import numpy as np
 from benchmarks.conftest import BENCH_EPOCHS, record_result
 from repro.experiments import format_table, run_ablation
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 CATEGORIES = ["exchange", "ico-wallet", "mining", "phish/hack"]
 

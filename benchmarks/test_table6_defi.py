@@ -15,6 +15,9 @@ from repro.baselines import (
 )
 from repro.experiments import format_table, run_baseline_comparison
 from repro.experiments.runner import fast_dbg4eth_config
+import pytest
+
+pytestmark = pytest.mark.slow  # full training loop; skip with -m 'not slow'
 
 
 def bench_baselines():

@@ -36,6 +36,8 @@ class Ledger:
         self.block_interval = block_interval
         self.genesis_timestamp = genesis_timestamp
         self._accounts: dict[str, Account] = {}
+        self._contract_set: frozenset | None = None
+        self._contract_set_accounts = -1
         self._store = ColumnarTxStore()
         # Per-block metadata (number, timestamp, [start_row, end_row) in the
         # store); Block objects are materialised on demand from these bounds.
@@ -60,6 +62,20 @@ class Ledger:
     def is_contract(self, address: str) -> bool:
         account = self._accounts.get(address)
         return account is not None and account.account_type is AccountType.CONTRACT
+
+    def contract_address_set(self) -> frozenset:
+        """Addresses of registered contract accounts, as one frozenset.
+
+        Batch consumers (graph build over ~100k nodes) test membership here
+        instead of calling :meth:`is_contract` per node; rebuilt only when the
+        account registry has grown since the last call.
+        """
+        if self._contract_set is None or self._contract_set_accounts != len(self._accounts):
+            self._contract_set = frozenset(
+                address for address, account in self._accounts.items()
+                if account.account_type is AccountType.CONTRACT)
+            self._contract_set_accounts = len(self._accounts)
+        return self._contract_set
 
     @property
     def accounts(self) -> list[Account]:

@@ -88,12 +88,23 @@ class AccountSubgraph:
         neighbour's node features with the features of its connecting edge.
         """
         n = self.graph.num_nodes
+        src_idx, dst_idx, amount, count, _ts = self.graph.edge_arrays()
+        m = len(src_idx)
+        if m == 0:
+            return np.zeros((n, 2))
+        # Interleave (src_0, dst_0, src_1, ...) so each bincount bin folds its
+        # contributions in exactly the order the per-edge loop added them.
+        endpoints = np.empty(2 * m, dtype=np.int64)
+        endpoints[0::2] = src_idx
+        endpoints[1::2] = dst_idx
+        payload = np.empty(2 * m, dtype=np.float64)
         agg = np.zeros((n, 2))
-        for edge in self.graph.edges:
-            for endpoint in (edge.src, edge.dst):
-                idx = self.graph.node_index(endpoint)
-                agg[idx, 0] += edge.amount
-                agg[idx, 1] += edge.count
+        payload[0::2] = amount
+        payload[1::2] = amount
+        agg[:, 0] = np.bincount(endpoints, weights=payload, minlength=n)
+        payload[0::2] = count
+        payload[1::2] = count
+        agg[:, 1] = np.bincount(endpoints, weights=payload, minlength=n)
         return agg
 
     def time_slices(self, num_slices: int, weighted: bool = True,
@@ -265,7 +276,8 @@ class SubgraphDatasetBuilder:
 
     def _truncate(self, sub: TxGraph, center: str, max_nodes: int) -> TxGraph:
         """Keep the centre plus the highest-degree nodes when a subgraph is too large."""
+        degrees = sub.degree_vector()
         ranked = sorted((node for node in sub.nodes if node != center),
-                        key=lambda n: -sub.degree(n))
+                        key=lambda n: -degrees[sub.node_index(n)])
         keep = [center] + ranked[:max_nodes - 1]
         return sub.subgraph(keep)

@@ -61,8 +61,10 @@ def build_transaction_graph(ledger: Ledger, min_value: float = 0.0,
         for tx in filter_transactions(ledger.transactions(), min_value=min_value):
             graph.add_edge(tx.sender, tx.receiver, amount=tx.value, count=1,
                            timestamp=tx.timestamp)
+    contracts = ledger.contract_address_set()
+    labels = ledger.labels
     for node in graph.nodes:
-        graph.set_node_attr(node, "is_contract", ledger.is_contract(node))
-        label = ledger.labels.get(node)
+        graph.set_node_attr(node, "is_contract", node in contracts)
+        label = labels.get(node)
         graph.set_node_attr(node, "label", label.value if label else None)
     return graph

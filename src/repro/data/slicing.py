@@ -4,7 +4,9 @@ Two slicers share the same edge-to-slot assignment: :func:`time_slice_adjacency`
 (the seed's dense ``(n, n)`` matrices) and :func:`time_slice_csr`, which builds
 :class:`~repro.graph.sparse.SparseAdjacency` slices directly from the edge
 arrays without ever allocating a dense matrix — the form the sparse LDG encoder
-consumes.
+consumes.  Both read :meth:`TxGraph.edge_arrays` — the graph's columnar edge
+store — so no :class:`~repro.graph.txgraph.Edge` object is materialised on
+either path.
 """
 
 from __future__ import annotations
@@ -17,6 +19,15 @@ from repro.graph.txgraph import TxGraph
 __all__ = ["transaction_evolution_times", "time_slice_adjacency", "time_slice_csr"]
 
 
+def _evolution_time_array(timestamps: np.ndarray) -> np.ndarray:
+    """Per-edge ``(t - t_min) / (t_max - t_min)``; zeros when the span is flat."""
+    t_min = timestamps.min()
+    span = timestamps.max() - t_min
+    if span > 0:
+        return (timestamps - t_min) / span
+    return np.zeros(len(timestamps))
+
+
 def transaction_evolution_times(graph: TxGraph) -> dict[tuple, float]:
     """Normalised evolution time in ``[0, 1]`` for every edge (Eq. 1).
 
@@ -24,19 +35,24 @@ def transaction_evolution_times(graph: TxGraph) -> dict[tuple, float]:
     the edges of the subgraph.  When all edges share a timestamp the evolution
     time is defined as 0 for every edge.
     """
-    edges = graph.edges
-    if not edges:
+    src_idx, dst_idx, _amount, _count, stamps = graph.edge_arrays()
+    if not len(stamps):
         return {}
-    timestamps = np.array([edge.timestamp for edge in edges])
-    t_min, t_max = timestamps.min(), timestamps.max()
-    span = t_max - t_min
-    times = {}
-    for edge in edges:
-        if span > 0:
-            times[(edge.src, edge.dst)] = float((edge.timestamp - t_min) / span)
-        else:
-            times[(edge.src, edge.dst)] = 0.0
-    return times
+    times = _evolution_time_array(stamps)
+    nodes = graph.nodes
+    return {(nodes[i], nodes[j]): t
+            for i, j, t in zip(src_idx.tolist(), dst_idx.tolist(),
+                               times.tolist())}
+
+
+def _edge_slice_arrays(graph: TxGraph, num_slices: int, weighted: bool,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(src_idx, dst_idx, value, slot)`` per merged edge, zero-copy endpoints."""
+    src, dst, amount, _count, stamps = graph.edge_arrays()
+    vals = amount if weighted else np.ones(len(amount))
+    times = _evolution_time_array(stamps)
+    slots = np.minimum((times * num_slices).astype(np.int64), num_slices - 1)
+    return src, dst, vals, slots
 
 
 def time_slice_adjacency(graph: TxGraph, num_slices: int,
@@ -54,39 +70,19 @@ def time_slice_adjacency(graph: TxGraph, num_slices: int,
     if num_slices < 1:
         raise ValueError("num_slices must be >= 1")
     n = graph.num_nodes
-    times = transaction_evolution_times(graph)
     slices = [np.zeros((n, n), dtype=np.float64) for _ in range(num_slices)]
-    for edge in graph.edges:
-        slot = min(int(times[(edge.src, edge.dst)] * num_slices), num_slices - 1)
-        i, j = graph.node_index(edge.src), graph.node_index(edge.dst)
-        value = edge.amount if weighted else 1.0
-        slices[slot][i, j] += value
-        slices[slot][j, i] += value
+    if graph.num_edges:
+        src, dst, vals, slots = _edge_slice_arrays(graph, num_slices, weighted)
+        # Per-edge accumulation in insertion order — the same left-fold the
+        # seed's Edge loop performed (a self loop adds to its diagonal twice).
+        for i, j, value, slot in zip(src.tolist(), dst.tolist(),
+                                     vals.tolist(), slots.tolist()):
+            slices[slot][i, j] += value
+            slices[slot][j, i] += value
     if cumulative:
         for k in range(1, num_slices):
             slices[k] += slices[k - 1]
     return slices
-
-
-def _edge_slice_arrays(graph: TxGraph, num_slices: int, weighted: bool,
-                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorised ``(src_idx, dst_idx, value, slot)`` per merged edge."""
-    edges = graph.edges
-    m = len(edges)
-    src = np.empty(m, dtype=np.int64)
-    dst = np.empty(m, dtype=np.int64)
-    vals = np.empty(m, dtype=np.float64)
-    stamps = np.empty(m, dtype=np.float64)
-    for i, edge in enumerate(edges):
-        src[i] = graph.node_index(edge.src)
-        dst[i] = graph.node_index(edge.dst)
-        vals[i] = edge.amount if weighted else 1.0
-        stamps[i] = edge.timestamp
-    t_min = stamps.min()
-    span = stamps.max() - t_min
-    times = (stamps - t_min) / span if span > 0 else np.zeros(m)
-    slots = np.minimum((times * num_slices).astype(np.int64), num_slices - 1)
-    return src, dst, vals, slots
 
 
 def time_slice_csr(graph: TxGraph, num_slices: int, weighted: bool = True,

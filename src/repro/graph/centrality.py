@@ -2,7 +2,9 @@
 
 The GSG encoder's topology-level augmentation (Section IV-A3) drops edges whose
 *edge centrality* is low, where edge centrality is derived from node centrality
-under three measures: degree, eigenvector and PageRank centrality.
+under three measures: degree, eigenvector and PageRank centrality.  All three
+read the graph's edge columns (or its cached CSR arrays) directly — no
+:class:`~repro.graph.txgraph.Edge` object is materialised.
 """
 
 from __future__ import annotations
@@ -25,7 +27,8 @@ def degree_centrality(graph: TxGraph) -> dict:
     if n <= 1:
         return {node: 0.0 for node in graph.nodes}
     scale = 1.0 / (n - 1)
-    return {node: graph.degree(node) * scale for node in graph.nodes}
+    degrees = graph.degree_vector()
+    return dict(zip(graph.nodes, (degrees * scale).tolist()))
 
 
 def _csr_row_ids(indptr: np.ndarray) -> np.ndarray:
@@ -98,6 +101,9 @@ def edge_centrality(graph: TxGraph, measure: str = "degree") -> dict:
         The subgraph to score.
     measure:
         One of ``"degree"``, ``"eigenvector"`` or ``"pagerank"``.
+
+    Returns a ``(src, dst) -> score`` dict over merged edges, computed in one
+    vectorised pass over the edge columns.
     """
     if measure == "degree":
         node_scores = degree_centrality(graph)
@@ -107,7 +113,12 @@ def edge_centrality(graph: TxGraph, measure: str = "degree") -> dict:
         node_scores = pagerank_centrality(graph)
     else:
         raise ValueError(f"unknown centrality measure: {measure!r}")
-    return {
-        (edge.src, edge.dst): 0.5 * (node_scores[edge.src] + node_scores[edge.dst])
-        for edge in graph.edges
-    }
+    nodes = graph.nodes
+    src_idx, dst_idx, _amount, _count, _ts = graph.edge_arrays()
+    if not len(src_idx):
+        return {}
+    values = np.array([node_scores[node] for node in nodes], dtype=np.float64)
+    scores = 0.5 * (values[src_idx] + values[dst_idx])
+    return {(nodes[i], nodes[j]): score
+            for i, j, score in zip(src_idx.tolist(), dst_idx.tolist(),
+                                   scores.tolist())}

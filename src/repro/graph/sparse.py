@@ -92,7 +92,13 @@ class SparseAdjacency:
     @classmethod
     def from_graph(cls, graph, weighted: bool = False, symmetric: bool = True,
                    ) -> "SparseAdjacency":
-        """CSR adjacency of a :class:`~repro.graph.txgraph.TxGraph`."""
+        """CSR adjacency of a :class:`~repro.graph.txgraph.TxGraph`.
+
+        ``TxGraph.to_csr`` memoizes its arrays per ``(weighted, symmetric)``
+        until the graph mutates, so instances built repeatedly from the same
+        graph share the underlying arrays zero-copy — safe because
+        ``SparseAdjacency`` already treats its arrays as immutable.
+        """
         return cls(*graph.to_csr(weighted=weighted, symmetric=symmetric))
 
     @classmethod

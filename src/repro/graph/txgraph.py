@@ -1,10 +1,18 @@
 """Directed weighted graph container for account-interaction graphs.
 
-``TxGraph`` maintains per-node out/in adjacency indexes incrementally in
-:meth:`TxGraph.add_edge`, so the traversal primitives the rest of the system is
-built on (``neighbors``, ``degree``, ``out_edges``, ``in_edges``, ``subgraph``)
-cost O(deg) instead of a full O(E) edge scan.  See ``DESIGN.md`` for the index
-invariants.
+``TxGraph`` stores its merged edges as parallel numpy columns — ``src_id`` /
+``dst_id`` (dense node indices), ``amount``, ``count`` and ``timestamp`` —
+mirroring the ledger's :class:`~repro.chain.txstore.ColumnarTxStore`.
+:class:`Edge` objects are materialised lazily, only when a caller crosses the
+object API boundary (``edges``, ``out_edges``, ``in_edges``, ``get_edge``,
+``edges_between``); the hot consumers (``to_csr``, ``subgraph``, sampling,
+centrality, time slicing) read the columns directly via :meth:`edge_arrays`.
+
+Per-node adjacency is served from a lazily built CSR row index (edge slots
+sorted by endpoint, insertion order preserved within each row), and the
+``(src, dst) -> slot`` lookup dict is also built lazily, so a bulk-ingested
+graph pays no per-edge Python object or dict cost at construction time.  See
+``DESIGN.md`` for the column/index invariants.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ from typing import Hashable, Iterable, Iterator
 import numpy as np
 
 __all__ = ["Edge", "TxGraph"]
+
+#: Bit width used to pack an ``(src_id, dst_id)`` pair into one int key.
+_PAIR_SHIFT = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,23 +55,52 @@ class Edge:
 class TxGraph:
     """A directed graph with node features, labels and merged weighted edges.
 
-    Nodes are stored in insertion order so that the adjacency / feature matrices
-    returned by :meth:`adjacency_matrix` and :meth:`feature_matrix` have stable
-    row ordering.  Edges are additionally indexed per node: ``_out[u]`` maps
-    each successor ``v`` to the merged ``Edge(u, v)`` and ``_in[v]`` maps each
-    predecessor ``u`` to the same object, both in first-insertion order.  Every
-    edge key also records its global insertion sequence so subgraphs can
-    reproduce the parent graph's edge ordering exactly.
+    Nodes are stored in insertion order so that the adjacency / feature
+    matrices returned by :meth:`adjacency_matrix` and :meth:`feature_matrix`
+    have stable row ordering.  Edges live in parallel column arrays in global
+    first-insertion order (merging updates a slot in place, so iteration
+    order is stable under merges), which makes subgraph edge ordering
+    reproducible for free: kept slots are simply sorted.
+
+    Derived lookup structures are built lazily and invalidated by version
+    counters (structural for the row index, any-mutation for the CSR cache):
+
+    * ``_slot_of`` — packed ``(src_id, dst_id)`` pair -> edge slot, the O(1)
+      merge/`has_edge` lookup.  Because edges are append-only, a stale dict
+      is synchronised incrementally (new slots appended, nothing rebuilt).
+    * the CSR row index — ``_out_indptr``/``_out_slots`` (and the ``_in``
+      twins) list each node's incident edge slots in insertion order,
+      serving ``out_edges``/``in_edges``/``neighbors``/``degree`` in O(deg).
+    * the :meth:`to_csr` cache — adjacency arrays shared with callers under
+      the same treat-as-immutable contract as ``SparseAdjacency``.
     """
 
     def __init__(self):
         self._nodes: dict[Hashable, int] = {}
         self._node_order: list[Hashable] = []
-        self._edges: dict[tuple[Hashable, Hashable], Edge] = {}
         self._node_attrs: dict[Hashable, dict] = {}
-        self._out: dict[Hashable, dict[Hashable, Edge]] = {}
-        self._in: dict[Hashable, dict[Hashable, Edge]] = {}
-        self._edge_seq: dict[tuple[Hashable, Hashable], int] = {}
+        # Edge columns (capacity arrays; the first _m entries are live).
+        self._m = 0
+        self._src = np.empty(0, dtype=np.int64)
+        self._dst = np.empty(0, dtype=np.int64)
+        self._amount = np.empty(0, dtype=np.float64)
+        self._count = np.empty(0, dtype=np.int64)
+        self._ts = np.empty(0, dtype=np.float64)
+        # Any mutation bumps _version (payload merges included — the weighted
+        # to_csr cache depends on amounts); only node/edge additions bump
+        # _structure_version, so in-place merges never invalidate the CSR row
+        # index, keeping interleaved merge/traversal streams O(deg) per query.
+        self._version = 0
+        self._structure_version = 0
+        self._slot_of: dict[int, int] = {}
+        self._slot_synced = 0               # edges currently keyed in _slot_of
+        self._adj_version = -1              # CSR row index validity
+        self._out_indptr: np.ndarray | None = None
+        self._out_slots: np.ndarray | None = None
+        self._in_indptr: np.ndarray | None = None
+        self._in_slots: np.ndarray | None = None
+        self._csr_version = -1              # to_csr() cache validity
+        self._csr_cache: dict = {}
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: Hashable, **attrs) -> None:
@@ -69,8 +109,8 @@ class TxGraph:
             self._nodes[node] = len(self._node_order)
             self._node_order.append(node)
             self._node_attrs[node] = {}
-            self._out[node] = {}
-            self._in[node] = {}
+            self._version += 1
+            self._structure_version += 1
         if attrs:
             self._node_attrs[node].update(attrs)
 
@@ -94,8 +134,104 @@ class TxGraph:
         return list(self._node_order)
 
     @property
+    def node_order(self) -> list[Hashable]:
+        """The insertion-ordered node list itself, zero-copy.
+
+        Treat as read-only; prefer :attr:`nodes` (which copies) unless on a
+        hot path that only indexes into it (e.g. per-candidate lookups in
+        sampling).
+        """
+        return self._node_order
+
+    @property
     def num_nodes(self) -> int:
         return len(self._node_order)
+
+    # --------------------------------------------------------- edge columns
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+        """``(src_idx, dst_idx, amount, count, timestamp)`` column views.
+
+        One entry per merged edge, in global first-insertion order; ``src_idx``
+        / ``dst_idx`` are node-insertion indices (the rows of
+        :meth:`adjacency_matrix`).  The arrays are live read-only views into
+        the graph's own columns (writes through them raise): do not retain
+        them across mutations — appended edges are not observed, but an
+        in-place merge of an existing pair **is** visible through the views.
+        Consumers that must survive later mutation should copy.
+        """
+        m = self._m
+        views = (self._src[:m], self._dst[:m], self._amount[:m],
+                 self._count[:m], self._ts[:m])
+        for view in views:
+            view.flags.writeable = False
+        return views
+
+    def _grow(self, extra: int) -> None:
+        need = self._m + extra
+        cap = len(self._src)
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap, 16)
+        for name in ("_src", "_dst", "_amount", "_count", "_ts"):
+            old = getattr(self, name)
+            arr = np.empty(new_cap, dtype=old.dtype)
+            arr[:self._m] = old[:self._m]
+            setattr(self, name, arr)
+
+    def _ensure_slots(self) -> None:
+        """Bring the pair -> slot dict up to date (incremental: append-only)."""
+        start = self._slot_synced
+        m = self._m
+        if start >= m:
+            return
+        keys = ((self._src[start:m] << np.int64(_PAIR_SHIFT))
+                | self._dst[start:m])
+        self._slot_of.update(zip(keys.tolist(), range(start, m)))
+        self._slot_synced = m
+
+    def _ensure_adjacency(self) -> None:
+        """(Re)build the CSR row index when the structure changed since last build."""
+        if self._adj_version == self._structure_version:
+            return
+        m = self._m
+        n = len(self._node_order)
+        src = self._src[:m]
+        dst = self._dst[:m]
+        # Stable argsort groups each node's slots while preserving global
+        # insertion order within the row — the same iteration order the
+        # per-node dict indexes produced.
+        self._out_slots = np.argsort(src, kind="stable")
+        self._in_slots = np.argsort(dst, kind="stable")
+        self._out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=self._out_indptr[1:])
+        self._in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst, minlength=n), out=self._in_indptr[1:])
+        self._adj_version = self._structure_version
+
+    def _edge_at(self, slot: int) -> Edge:
+        """Materialise the :class:`Edge` view of one column row."""
+        order = self._node_order
+        return Edge(order[self._src[slot]], order[self._dst[slot]],
+                    float(self._amount[slot]), int(self._count[slot]),
+                    float(self._ts[slot]))
+
+    def _append_edge(self, u: int, v: int, amount: float, count: int,
+                     timestamp: float) -> None:
+        """Append one fresh edge row (``add_edge`` is this with width 1)."""
+        self._grow(1)
+        m = self._m
+        self._src[m] = u
+        self._dst[m] = v
+        self._amount[m] = amount
+        self._count[m] = count
+        self._ts[m] = timestamp
+        self._m = m + 1
+        if self._slot_synced == m:
+            self._slot_of[(u << _PAIR_SHIFT) | v] = m
+            self._slot_synced = m + 1
+        self._version += 1
+        self._structure_version += 1
 
     # ------------------------------------------------------------------ edges
     def add_edge(self, src: Hashable, dst: Hashable, amount: float = 0.0,
@@ -111,24 +247,23 @@ class TxGraph:
         """
         self.add_node(src)
         self.add_node(dst)
-        key = (src, dst)
-        existing = self._edges.get(key)
-        if existing is None:
-            edge = Edge(src, dst, amount, count, timestamp)
-        else:
-            total = existing.count + count
-            if total > 0:
-                mean_ts = (existing.timestamp * existing.count + timestamp * count) / total
-            else:
-                mean_ts = existing.timestamp
-            edge = Edge(src, dst, existing.amount + amount, total, mean_ts)
-        # Re-assigning an existing key keeps its position in all three dicts,
-        # so edge iteration order is stable under merges.
-        if existing is None:
-            self._edge_seq[key] = len(self._edges)
-        self._edges[key] = edge
-        self._out[src][dst] = edge
-        self._in[dst][src] = edge
+        u = self._nodes[src]
+        v = self._nodes[dst]
+        self._ensure_slots()
+        slot = self._slot_of.get((u << _PAIR_SHIFT) | v)
+        if slot is None:
+            self._append_edge(u, v, amount, count, timestamp)
+            return
+        # In-place merge: the slot (and therefore edge iteration order) is
+        # stable, exactly like re-assigning a dict key was.
+        prev_count = self._count[slot]
+        total = prev_count + count
+        if total > 0:
+            self._ts[slot] = (self._ts[slot] * prev_count
+                              + timestamp * count) / total
+        self._amount[slot] = self._amount[slot] + amount
+        self._count[slot] = total
+        self._version += 1
 
     def add_edges_bulk(self, srcs, dsts, amounts=None, counts=None,
                        timestamps=None, node_keys: list | None = None) -> None:
@@ -154,7 +289,8 @@ class TxGraph:
         iterative count-weighted mean recurrence (including the zero-count
         guard).  Rows whose ordered pair already exists in the graph are
         replayed through :meth:`add_edge` (merging into an existing edge is
-        inherently sequential); fresh pairs take the vectorised path.
+        inherently sequential); fresh pairs take the vectorised path, which
+        appends whole column blocks — no per-edge Python object or dict write.
         """
         srcs = np.asarray(srcs)
         n = len(srcs)
@@ -191,7 +327,8 @@ class TxGraph:
             src_codes = np.ascontiguousarray(srcs, dtype=np.int64)
             dst_codes = np.ascontiguousarray(dsts, dtype=np.int64)
 
-        # Nodes, in first-appearance order over the interleaved endpoint scan.
+        # Nodes, in first-appearance order over the interleaved endpoint scan;
+        # record each code's graph node id for the edge-column append below.
         if (src_codes.min() < 0 or dst_codes.min() < 0
                 or src_codes.max() >= len(node_keys)
                 or dst_codes.max() >= len(node_keys)):
@@ -203,16 +340,17 @@ class TxGraph:
         nodes = self._nodes
         node_order = self._node_order
         node_attrs = self._node_attrs
-        out_index = self._out
-        in_index = self._in
+        code_gid = np.empty(len(node_keys), dtype=np.int64)
         for pos in np.sort(first_pos).tolist():
-            node = node_keys[interleaved_codes[pos]]
-            if node not in nodes:
-                nodes[node] = len(node_order)
+            code = interleaved_codes[pos]
+            node = node_keys[code]
+            gid = nodes.get(node)
+            if gid is None:
+                gid = len(node_order)
+                nodes[node] = gid
                 node_order.append(node)
                 node_attrs[node] = {}
-                out_index[node] = {}
-                in_index[node] = {}
+            code_gid[code] = gid
 
         # Merged edges: group rows by ordered (src, dst) pair.
         num_keys = len(node_keys)
@@ -220,24 +358,30 @@ class TxGraph:
         uniq_pairs, pair_first, pair_inverse = np.unique(
             pair_keys, return_index=True, return_inverse=True)
         # Rows whose pair already exists must merge sequentially.
-        existing_pair_mask = np.zeros(len(uniq_pairs), dtype=bool)
-        if self._edges:
-            for j, pair in enumerate(uniq_pairs):
-                key = (node_keys[pair // num_keys], node_keys[pair % num_keys])
-                existing_pair_mask[j] = key in self._edges
-        if existing_pair_mask.any():
-            replay = existing_pair_mask[pair_inverse]
-            for i in np.flatnonzero(replay):
-                self.add_edge(node_keys[src_codes[i]], node_keys[dst_codes[i]],
-                              float(amounts[i]), int(counts[i]), float(timestamps[i]))
-            keep = ~replay
-            if not keep.any():
-                return
-            src_codes, dst_codes = src_codes[keep], dst_codes[keep]
-            amounts, counts, timestamps = amounts[keep], counts[keep], timestamps[keep]
-            pair_keys = pair_keys[keep]
-            uniq_pairs, pair_first, pair_inverse = np.unique(
-                pair_keys, return_index=True, return_inverse=True)
+        if self._m:
+            self._ensure_slots()
+            slot_of = self._slot_of
+            existing_pair_mask = np.zeros(len(uniq_pairs), dtype=bool)
+            for j, pair in enumerate(uniq_pairs.tolist()):
+                key = ((int(code_gid[pair // num_keys]) << _PAIR_SHIFT)
+                       | int(code_gid[pair % num_keys]))
+                existing_pair_mask[j] = key in slot_of
+            if existing_pair_mask.any():
+                replay = existing_pair_mask[pair_inverse]
+                for i in np.flatnonzero(replay):
+                    self.add_edge(node_keys[src_codes[i]], node_keys[dst_codes[i]],
+                                  float(amounts[i]), int(counts[i]),
+                                  float(timestamps[i]))
+                keep = ~replay
+                if not keep.any():
+                    self._version += 1
+                    return
+                src_codes, dst_codes = src_codes[keep], dst_codes[keep]
+                amounts, counts, timestamps = (amounts[keep], counts[keep],
+                                               timestamps[keep])
+                pair_keys = pair_keys[keep]
+                uniq_pairs, pair_first, pair_inverse = np.unique(
+                    pair_keys, return_index=True, return_inverse=True)
 
         # Edge groups in first-appearance order.
         pair_appearance = np.argsort(pair_first, kind="stable")
@@ -288,94 +432,142 @@ class TxGraph:
             k += 1
             active = active[sizes[active] > k]
 
-        # Materialise the merged edges in first-appearance order.  tolist()
-        # hands the loop native python scalars, so the body is just the Edge
-        # construction plus the three index-dict stores.
-        src_nodes = [node_keys[c] for c in (uniq_pairs // num_keys)[pair_appearance].tolist()]
-        dst_nodes = [node_keys[c] for c in (uniq_pairs % num_keys)[pair_appearance].tolist()]
-        edges = self._edges
-        edge_seq = self._edge_seq
-        seq = len(edges)
-        for src, dst, amount, count, ts in zip(
-                src_nodes, dst_nodes, edge_amounts.tolist(),
-                edge_counts.tolist(), ts_acc.tolist()):
-            edge = Edge(src, dst, amount, count, ts)
-            key = (src, dst)
-            edge_seq[key] = seq
-            seq += 1
-            edges[key] = edge
-            out_index[src][dst] = edge
-            in_index[dst][src] = edge
+        # Append the merged edges as whole column blocks, in first-appearance
+        # order.  No Edge objects, no per-edge dict writes — the pair -> slot
+        # dict and the CSR row index are rebuilt lazily on first lookup.
+        src_gid = code_gid[(uniq_pairs // num_keys)[pair_appearance]]
+        dst_gid = code_gid[(uniq_pairs % num_keys)[pair_appearance]]
+        self._grow(num_edges_new)
+        m = self._m
+        stop = m + num_edges_new
+        self._src[m:stop] = src_gid
+        self._dst[m:stop] = dst_gid
+        self._amount[m:stop] = edge_amounts
+        self._count[m:stop] = edge_counts
+        self._ts[m:stop] = ts_acc
+        self._m = stop
+        self._version += 1
+        self._structure_version += 1
 
     def has_edge(self, src: Hashable, dst: Hashable) -> bool:
-        return (src, dst) in self._edges
+        u = self._nodes.get(src)
+        v = self._nodes.get(dst)
+        if u is None or v is None:
+            return False
+        self._ensure_slots()
+        return ((u << _PAIR_SHIFT) | v) in self._slot_of
+
+    def _slot_between(self, u: int, v: int) -> int | None:
+        self._ensure_slots()
+        return self._slot_of.get((u << _PAIR_SHIFT) | v)
 
     def get_edge(self, src: Hashable, dst: Hashable) -> Edge:
-        return self._edges[(src, dst)]
+        u = self._nodes.get(src)
+        v = self._nodes.get(dst)
+        slot = self._slot_between(u, v) if u is not None and v is not None else None
+        if slot is None:
+            raise KeyError((src, dst))
+        return self._edge_at(slot)
 
     def edges_between(self, u: Hashable, v: Hashable) -> list[Edge]:
         """Merged edges connecting ``u`` and ``v`` in either direction.
 
         Returns ``[Edge(u, v)]``, ``[Edge(v, u)]``, both (forward first) or an
         empty list; for a self pair (``u == v``) at most the single loop edge.
+        Nodes absent from the graph simply yield no edges — never a KeyError.
         """
+        ui = self._nodes.get(u)
+        vi = self._nodes.get(v)
+        if ui is None or vi is None:
+            return []
         edges = []
-        forward = self._edges.get((u, v))
+        forward = self._slot_between(ui, vi)
         if forward is not None:
-            edges.append(forward)
-        if u != v:
-            backward = self._edges.get((v, u))
+            edges.append(self._edge_at(forward))
+        if ui != vi:
+            backward = self._slot_between(vi, ui)
             if backward is not None:
-                edges.append(backward)
+                edges.append(self._edge_at(backward))
         return edges
 
     @property
     def edges(self) -> list[Edge]:
-        return list(self._edges.values())
+        """Materialised :class:`Edge` views, in insertion order (object boundary)."""
+        m = self._m
+        order = self._node_order
+        return [Edge(order[u], order[v], a, c, t) for u, v, a, c, t in zip(
+            self._src[:m].tolist(), self._dst[:m].tolist(),
+            self._amount[:m].tolist(), self._count[:m].tolist(),
+            self._ts[:m].tolist())]
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return self._m
+
+    def _row_slots(self, node: Hashable, indptr_name: str, slots_name: str,
+                   ) -> np.ndarray:
+        idx = self._nodes.get(node)
+        if idx is None or self._m == 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_adjacency()
+        indptr = getattr(self, indptr_name)
+        slots = getattr(self, slots_name)
+        return slots[indptr[idx]:indptr[idx + 1]]
+
+    def out_slots(self, node: Hashable) -> np.ndarray:
+        """Edge-column slots of ``node``'s out-edges, in insertion order."""
+        return self._row_slots(node, "_out_indptr", "_out_slots")
+
+    def in_slots(self, node: Hashable) -> np.ndarray:
+        """Edge-column slots of ``node``'s in-edges, in insertion order."""
+        return self._row_slots(node, "_in_indptr", "_in_slots")
 
     def out_edges(self, node: Hashable) -> Iterator[Edge]:
-        yield from self._out.get(node, {}).values()
+        for slot in self.out_slots(node).tolist():
+            yield self._edge_at(slot)
 
     def in_edges(self, node: Hashable) -> Iterator[Edge]:
-        yield from self._in.get(node, {}).values()
+        for slot in self.in_slots(node).tolist():
+            yield self._edge_at(slot)
 
     def out_degree(self, node: Hashable) -> int:
-        return len(self._out.get(node, ()))
+        return len(self.out_slots(node))
 
     def in_degree(self, node: Hashable) -> int:
-        return len(self._in.get(node, ()))
+        return len(self.in_slots(node))
 
     def neighbors(self, node: Hashable) -> set[Hashable]:
         """Return successors and predecessors of ``node`` (undirected neighbourhood)."""
-        return set(self._out.get(node, ())) | set(self._in.get(node, ()))
+        out_ids = self._dst[self.out_slots(node)]
+        in_ids = self._src[self.in_slots(node)]
+        order = self._node_order
+        return {order[i] for i in set(out_ids.tolist()) | set(in_ids.tolist())}
 
     def degree(self, node: Hashable) -> int:
         """Number of distinct directed edges incident to ``node`` (a self-loop counts once)."""
-        out_nbrs = self._out.get(node)
-        in_nbrs = self._in.get(node)
-        if out_nbrs is None and in_nbrs is None:
+        idx = self._nodes.get(node)
+        if idx is None:
             return 0
-        loop = 1 if out_nbrs and node in out_nbrs else 0
-        return len(out_nbrs or ()) + len(in_nbrs or ()) - loop
+        out_row = self.out_slots(node)
+        loop = 1 if len(out_row) and bool(np.any(self._dst[out_row] == idx)) else 0
+        return len(out_row) + len(self.in_slots(node)) - loop
+
+    def degree_vector(self) -> np.ndarray:
+        """Degrees of every node in insertion order, in one O(N + E) pass.
+
+        ``degree_vector()[i] == degree(nodes[i])`` — self-loops count once.
+        """
+        n = len(self._node_order)
+        m = self._m
+        src = self._src[:m]
+        dst = self._dst[:m]
+        deg = np.bincount(src, minlength=n) + np.bincount(dst, minlength=n)
+        loops = src == dst
+        if loops.any():
+            deg -= np.bincount(src[loops], minlength=n)
+        return deg
 
     # ----------------------------------------------------------------- matrices
-    def _edge_index_arrays(self, weighted: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(rows, cols, values) over merged edges in insertion order."""
-        m = len(self._edges)
-        rows = np.empty(m, dtype=np.int64)
-        cols = np.empty(m, dtype=np.int64)
-        vals = np.empty(m, dtype=np.float64)
-        nodes = self._nodes
-        for i, ((src, dst), edge) in enumerate(self._edges.items()):
-            rows[i] = nodes[src]
-            cols[i] = nodes[dst]
-            vals[i] = edge.amount if weighted else 1.0
-        return rows, cols, vals
-
     def adjacency_matrix(self, weighted: bool = False, symmetric: bool = False) -> np.ndarray:
         """Dense adjacency matrix in node-insertion order.
 
@@ -387,10 +579,11 @@ class TxGraph:
             Return ``max(A, A.T)`` — the undirected view used by the GNN encoders.
         """
         n = self.num_nodes
+        m = self._m
         adj = np.zeros((n, n), dtype=np.float64)
-        if self._edges:
-            rows, cols, vals = self._edge_index_arrays(weighted)
-            adj[rows, cols] = vals
+        if m:
+            vals = self._amount[:m] if weighted else np.ones(m)
+            adj[self._src[:m], self._dst[:m]] = vals
         if symmetric:
             adj = np.maximum(adj, adj.T)
         return adj
@@ -403,13 +596,29 @@ class TxGraph:
         columns are ``indices[indptr[i]:indptr[i + 1]]`` (sorted ascending) with
         values ``data[indptr[i]:indptr[i + 1]]``.  ``symmetric=True`` mirrors
         :meth:`adjacency_matrix`: the ``max(A, A.T)`` undirected view.
+
+        Results are memoized per ``(weighted, symmetric)`` until the graph
+        mutates; callers share the arrays and must treat them as immutable
+        (the same contract as :class:`~repro.graph.sparse.SparseAdjacency`).
         """
+        if self._csr_version != self._version:
+            self._csr_cache.clear()
+            self._csr_version = self._version
+        key = (weighted, symmetric)
+        cached = self._csr_cache.get(key)
+        if cached is not None:
+            return cached
         n = self.num_nodes
-        if not self._edges:
-            return (np.zeros(n + 1, dtype=np.int64),
-                    np.zeros(0, dtype=np.int64),
-                    np.zeros(0, dtype=np.float64))
-        rows, cols, vals = self._edge_index_arrays(weighted)
+        m = self._m
+        if not m:
+            result = (np.zeros(n + 1, dtype=np.int64),
+                      np.zeros(0, dtype=np.int64),
+                      np.zeros(0, dtype=np.float64))
+            self._csr_cache[key] = result
+            return result
+        rows = self._src[:m]
+        cols = self._dst[:m]
+        vals = np.array(self._amount[:m]) if weighted else np.ones(m)
         if symmetric:
             rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
             vals = np.concatenate([vals, vals])
@@ -423,7 +632,9 @@ class TxGraph:
         vals = np.maximum.reduceat(vals, starts)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
-        return indptr, cols, vals
+        result = (indptr, cols, vals)
+        self._csr_cache[key] = result
+        return result
 
     def feature_matrix(self, key: str = "features", dim: int | None = None) -> np.ndarray:
         """Stack per-node feature vectors stored under attribute ``key``."""
@@ -441,9 +652,11 @@ class TxGraph:
 
     def edge_feature_matrix(self) -> np.ndarray:
         """Edge features ``[amount, count]`` in edge-insertion order."""
-        if not self._edges:
+        m = self._m
+        if not m:
             return np.zeros((0, 2))
-        return np.array([[e.amount, float(e.count)] for e in self._edges.values()])
+        return np.column_stack((self._amount[:m],
+                                self._count[:m].astype(np.float64)))
 
     # --------------------------------------------------------------- subgraphs
     def subgraph(self, nodes: Iterable[Hashable]) -> "TxGraph":
@@ -451,39 +664,45 @@ class TxGraph:
 
         Node and edge insertion order follow the parent graph, so matrices built
         from the subgraph are reproducible regardless of the order of ``nodes``.
+        Identifiers absent from the graph are ignored; a node set inducing no
+        edges yields an edgeless subgraph — never a KeyError.
         """
-        keep = {node for node in nodes if node in self._nodes}
-        sub = TxGraph()
         node_index = self._nodes
-        for i, node in enumerate(sorted(keep, key=node_index.__getitem__)):
-            sub._nodes[node] = i
+        keep_ids = sorted({node_index[node] for node in nodes if node in node_index})
+        sub = TxGraph()
+        order = self._node_order
+        for new_id, old_id in enumerate(keep_ids):
+            node = order[old_id]
+            sub._nodes[node] = new_id
             sub._node_order.append(node)
             sub._node_attrs[node] = dict(self._node_attrs[node])
-            sub._out[node] = {}
-            sub._in[node] = {}
-        if len(keep) * 4 < len(self._node_order):
-            # Gather incident edges from the per-node index: O(sum deg), then
-            # restore global insertion order via the per-edge sequence number.
-            keys = [(src, dst) for src in keep for dst in self._out[src] if dst in keep]
-            keys.sort(key=self._edge_seq.__getitem__)
-            kept_edges = [(key, self._edges[key]) for key in keys]
-        else:
-            # Dense selection: a single ordered pass over the edge dict.
-            kept_edges = [(key, edge) for key, edge in self._edges.items()
-                          if key[0] in keep and key[1] in keep]
-        # Bulk-insert: kept edges are already merged and Edge is frozen, so the
-        # instances can be shared with the parent instead of re-merged through
-        # add_edge.
-        sub_edges = sub._edges
-        sub_seq = sub._edge_seq
-        sub_out = sub._out
-        sub_in = sub._in
-        for seq, (key, edge) in enumerate(kept_edges):
-            sub_edges[key] = edge
-            sub_seq[key] = seq
-            src, dst = key
-            sub_out[src][dst] = edge
-            sub_in[dst][src] = edge
+        m = self._m
+        if m and keep_ids:
+            n = len(order)
+            in_keep = np.zeros(n, dtype=bool)
+            in_keep[keep_ids] = True
+            if (self._adj_version == self._structure_version
+                    and len(keep_ids) * 4 < n):
+                # Gather candidate slots from the CSR row index: O(sum deg),
+                # then restore global insertion order with a sort on slots.
+                indptr = self._out_indptr
+                out_slots = self._out_slots
+                parts = [out_slots[indptr[i]:indptr[i + 1]] for i in keep_ids]
+                cand = np.concatenate(parts)
+                slots = np.sort(cand[in_keep[self._dst[cand]]])
+            else:
+                # Dense selection: one vectorised pass over the edge columns.
+                slots = np.flatnonzero(in_keep[self._src[:m]]
+                                       & in_keep[self._dst[:m]])
+            remap = np.zeros(n, dtype=np.int64)
+            remap[keep_ids] = np.arange(len(keep_ids))
+            sub._src = remap[self._src[slots]]
+            sub._dst = remap[self._dst[slots]]
+            sub._amount = self._amount[slots]
+            sub._count = self._count[slots]
+            sub._ts = self._ts[slots]
+            sub._m = len(slots)
+        sub._version += 1
         return sub
 
     def copy(self) -> "TxGraph":
@@ -496,8 +715,8 @@ class TxGraph:
         g = nx.DiGraph()
         for node in self._node_order:
             g.add_node(node, **self._node_attrs[node])
-        for (src, dst), edge in self._edges.items():
-            g.add_edge(src, dst, amount=edge.amount, count=edge.count,
+        for edge in self.edges:
+            g.add_edge(edge.src, edge.dst, amount=edge.amount, count=edge.count,
                        timestamp=edge.timestamp)
         return g
 

@@ -50,7 +50,10 @@ class TestRegistry:
             BaselineClassifier().predict_proba([])
 
 
+@pytest.mark.slow
 class TestAllBaselines:
+    """Trains all 14 baselines end to end — the slow tail of the tier-1 suite."""
+
     @pytest.mark.parametrize("name", sorted(baseline_registry()))
     def test_fit_predict_evaluate(self, name, baseline_task):
         samples, labels = baseline_task

@@ -3,6 +3,10 @@
 Empty graphs, single nodes (with and without self-loops) and graphs whose
 edges all share one timestamp must neither crash nor diverge between the
 dense and CSR slicers, and every centrality must return finite values.
+Degenerate *queries* — subgraphs over node sets with no induced edges or
+with identifiers absent from the graph, ``edges_between`` on absent nodes —
+must return empty results (never ``KeyError``) identically on the columnar
+``TxGraph`` and the dict-backed reference path.
 """
 
 import math
@@ -18,6 +22,8 @@ from repro.graph.centrality import (
     eigenvector_centrality,
     pagerank_centrality,
 )
+
+from tests._dict_reference import DictGraphReference
 
 
 def empty_graph() -> TxGraph:
@@ -110,3 +116,91 @@ class TestDegenerateSampling:
         sub = ego_subgraph(graph, "solo", hops=2, k=10)
         assert sub.nodes == ["solo"]
         assert sub.num_edges == 1
+
+
+def _both_paths():
+    """The same 4-node graph on the columnar TxGraph and the dict reference."""
+    graphs = []
+    for cls in (TxGraph, DictGraphReference):
+        g = cls()
+        g.add_edge("a", "b", amount=1.0, timestamp=10.0)
+        g.add_edge("b", "c", amount=2.0, timestamp=20.0)
+        g.add_node("isolated", color="grey")
+        graphs.append(g)
+    return graphs
+
+
+class TestEmptyResultsOnBothPaths:
+    """Degenerate queries return empty results, not KeyError (old and new path)."""
+
+    def test_subgraph_with_no_induced_edges(self):
+        for g in _both_paths():
+            sub = g.subgraph(["a", "c", "isolated"])
+            assert sub.nodes == ["a", "c", "isolated"]
+            assert sub.num_edges == 0
+            assert sub.edges == []
+
+    def test_subgraph_with_absent_nodes_ignores_them(self):
+        for g in _both_paths():
+            sub = g.subgraph(["a", "b", "zz", "yy"])
+            assert sub.nodes == ["a", "b"]
+            assert sub.num_edges == 1
+            assert [(e.src, e.dst) for e in sub.edges] == [("a", "b")]
+
+    def test_subgraph_of_only_absent_nodes_is_empty(self):
+        for g in _both_paths():
+            sub = g.subgraph(["zz", "yy"])
+            assert sub.nodes == []
+            assert sub.num_edges == 0
+
+    def test_subgraph_of_empty_node_set_is_empty(self):
+        for g in _both_paths():
+            sub = g.subgraph([])
+            assert sub.nodes == []
+            assert sub.num_edges == 0
+
+    def test_edges_between_absent_nodes_is_empty(self):
+        for g in _both_paths():
+            assert g.edges_between("zz", "yy") == []
+            assert g.edges_between("a", "zz") == []
+            assert g.edges_between("zz", "a") == []
+            assert g.edges_between("zz", "zz") == []
+
+    def test_traversals_of_absent_node_are_empty(self):
+        for g in _both_paths():
+            assert list(g.out_edges("zz")) == []
+            assert list(g.in_edges("zz")) == []
+            assert g.neighbors("zz") == set()
+            assert g.degree("zz") == 0
+
+    def test_subgraph_preserves_attrs_of_edgeless_nodes(self):
+        for g in _both_paths():
+            sub = g.subgraph(["isolated"])
+            assert sub.nodes == ["isolated"]
+            assert sub._node_attrs["isolated"]["color"] == "grey"
+
+
+class TestDegenerateQueriesOnTxGraph:
+    """Columnar-specific guards that have no dict-path equivalent."""
+
+    def test_has_edge_and_get_edge_on_absent_nodes(self):
+        (g, _ref) = _both_paths()
+        assert not g.has_edge("zz", "a")
+        assert not g.has_edge("a", "zz")
+        with pytest.raises(KeyError):
+            g.get_edge("zz", "a")
+
+    def test_empty_graph_queries(self):
+        g = TxGraph()
+        assert g.edges == []
+        assert g.subgraph(["anything"]).nodes == []
+        assert g.edges_between("u", "v") == []
+        assert g.degree_vector().tolist() == []
+        for arr in g.edge_arrays():
+            assert len(arr) == 0
+
+    def test_degree_vector_matches_per_node_degree(self):
+        g, _ref = _both_paths()
+        g.add_edge("c", "c", amount=1.0)   # self-loop counts once
+        degrees = g.degree_vector()
+        assert degrees.tolist() == [g.degree(node) for node in g.nodes]

@@ -1,0 +1,116 @@
+"""Property tests: interleaved add_edge / add_edges_bulk vs a dict reference.
+
+Hypothesis drives arbitrary interleavings of single ``add_edge`` calls and
+``add_edges_bulk`` batches — with duplicate rows, self-loops, zero counts and
+pairs repeated both within and across calls — and requires the columnar
+``TxGraph`` to be **bit-identical** to :class:`DictGraphReference`, which only
+ever sees the flattened sequential row stream: same node order, same edge
+iteration order, same left-fold amounts, counts and iterative count-weighted
+timestamp means, and the same per-node out/in iteration order.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import TxGraph
+
+from tests._dict_reference import DictGraphReference
+
+# One row: (src, dst, amount, count, timestamp) over a small node universe so
+# duplicates, self-loops and cross-batch pair repeats are frequent.
+row = st.tuples(
+    st.integers(0, 5), st.integers(0, 5),
+    st.floats(0.0, 100.0, allow_nan=False),
+    st.integers(0, 3),
+    st.floats(0.0, 1000.0, allow_nan=False))
+
+# A program: sequence of batches, each applied via add_edges_bulk (True) or a
+# sequential add_edge loop (False).
+program = st.lists(
+    st.tuples(st.booleans(), st.lists(row, min_size=1, max_size=20)),
+    min_size=1, max_size=6)
+
+
+def apply_program(graph: TxGraph, batches) -> None:
+    for bulk, rows in batches:
+        if bulk:
+            graph.add_edges_bulk(
+                np.array([r[0] for r in rows], dtype=np.int64),
+                np.array([r[1] for r in rows], dtype=np.int64),
+                amounts=np.array([r[2] for r in rows]),
+                counts=np.array([r[3] for r in rows], dtype=np.int64),
+                timestamps=np.array([r[4] for r in rows]))
+        else:
+            for src, dst, amount, count, ts in rows:
+                graph.add_edge(src, dst, amount=amount, count=count, timestamp=ts)
+
+
+def apply_sequential(reference: DictGraphReference, batches) -> None:
+    for _bulk, rows in batches:
+        for src, dst, amount, count, ts in rows:
+            reference.add_edge(src, dst, amount=amount, count=count, timestamp=ts)
+
+
+def edge_tuples(edges) -> list[tuple]:
+    return [(e.src, e.dst, e.amount, e.count, e.timestamp) for e in edges]
+
+
+def assert_bit_identical(graph: TxGraph, reference: DictGraphReference) -> None:
+    assert graph.nodes == reference.nodes
+    # Global edge iteration order and payloads, bitwise (no approx).
+    assert edge_tuples(graph.edges) == edge_tuples(reference.edges)
+    for node in reference.nodes:
+        assert edge_tuples(graph.out_edges(node)) == \
+            edge_tuples(reference.out_edges(node))
+        assert edge_tuples(graph.in_edges(node)) == \
+            edge_tuples(reference.in_edges(node))
+        assert graph.neighbors(node) == reference.neighbors(node)
+        assert graph.degree(node) == reference.degree(node)
+        for other in reference.nodes:
+            assert edge_tuples(graph.edges_between(node, other)) == \
+                edge_tuples(reference.edges_between(node, other))
+
+
+@settings(max_examples=60, deadline=None)
+@given(program)
+def test_interleaved_programs_match_sequential_reference(batches):
+    graph = TxGraph()
+    reference = DictGraphReference()
+    apply_program(graph, batches)
+    apply_sequential(reference, batches)
+    assert_bit_identical(graph, reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program, st.integers(0, 2 ** 31 - 1))
+def test_interleaved_subgraphs_match_sequential_reference(batches, seed):
+    graph = TxGraph()
+    reference = DictGraphReference()
+    apply_program(graph, batches)
+    apply_sequential(reference, batches)
+    rng = np.random.default_rng(seed)
+    nodes = reference.nodes
+    keep = [n for n in nodes if rng.random() < 0.5]
+    sub = graph.subgraph(keep)
+    ref_sub = reference.subgraph(keep)
+    assert sub.nodes == ref_sub.nodes
+    assert edge_tuples(sub.edges) == edge_tuples(ref_sub.edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(row, min_size=1, max_size=30))
+def test_bulk_with_node_keys_matches_sequential_reference(rows):
+    node_keys = [f"0x{i:02d}" for i in range(6)]
+    graph = TxGraph()
+    graph.add_edges_bulk(
+        np.array([r[0] for r in rows], dtype=np.int64),
+        np.array([r[1] for r in rows], dtype=np.int64),
+        amounts=np.array([r[2] for r in rows]),
+        counts=np.array([r[3] for r in rows], dtype=np.int64),
+        timestamps=np.array([r[4] for r in rows]),
+        node_keys=node_keys)
+    reference = DictGraphReference()
+    for src, dst, amount, count, ts in rows:
+        reference.add_edge(node_keys[src], node_keys[dst], amount=amount,
+                           count=count, timestamp=ts)
+    assert_bit_identical(graph, reference)

@@ -34,6 +34,7 @@ def pipeline_split(small_dataset):
     return train_test_split(samples, labels, test_fraction=0.3, seed=9)
 
 
+@pytest.mark.slow
 class TestFullPipeline:
     def test_ledger_to_dataset_to_model(self):
         """The entire pipeline runs end to end starting from raw block generation."""
