@@ -10,26 +10,42 @@ replaces:
 * ``naive``    — for every head, re-sample and re-featurize every address and
   predict one sample at a time (cold caches, the pre-facade pattern).
 
-Both paths are asserted to produce bit-identical probabilities before timings
-are recorded.  Results (wall times, speedup, addresses/sec throughput) are
-written to ``BENCH_api.json``.
+On top of the sequential comparison, the harness exercises the concurrent
+serving tier:
+
+* ``latency``    — per-request wall times of warm single-address ``score()``
+  calls, reported as p50/p95/mean/max percentiles;
+* ``concurrent`` — a :class:`repro.api.ParallelScorer` worker-count sweep
+  (default 1/2/4) in thread or process mode, cold sample cache per run;
+* ``service``    — N asyncio callers pushed through the
+  :class:`repro.api.ScoringService` micro-batcher, recording how many batched
+  passes served them and the per-caller latency percentiles.
+
+Every path is asserted to produce bit-identical probabilities before timings
+are recorded.  Results are written to ``BENCH_api.json``.  Note that the
+worker sweep measures honestly: on a single-core host the parallel rows will
+hover around 1x — the ``--min-concurrent-speedup`` floor is opt-in and meant
+for multi-core runners.
 
 Run::
 
     PYTHONPATH=src python benchmarks/perf_api.py                 # default scale
     PYTHONPATH=src python benchmarks/perf_api.py --scale 0.15 --output /tmp/b.json
+    PYTHONPATH=src python benchmarks/perf_api.py --workers 1,2,4 \
+        --concurrent-mode process --min-concurrent-speedup 2.0
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.api import DeAnonymizer
+from repro.api import DeAnonymizer, ParallelScorer, ScoringService
 from repro.chain import LedgerConfig, generate_ledger
 from repro.core import CalibrationConfig, DBG4ETHConfig, GSGConfig, LDGConfig
 from repro.data import DatasetConfig
@@ -58,8 +74,96 @@ def naive_score(deanon: DeAnonymizer, addresses: list[str]) -> dict[str, dict[st
     return results
 
 
+def percentile_summary(latencies: list[float]) -> dict:
+    """p50/p95/mean/max of a latency sample, in milliseconds."""
+    arr = np.asarray(latencies, dtype=np.float64) * 1e3
+    return {
+        "count": int(len(arr)),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+def assert_parity(expected: dict, got: dict, label: str) -> None:
+    """Bit-for-bit equality of two {address: {category: p}} result dicts."""
+    assert set(expected) == set(got), f"{label}: address sets differ"
+    for address, per_category in expected.items():
+        for category, probability in per_category.items():
+            assert got[address][category] == probability, (
+                f"{label}: parity violated for {address} / {category}: "
+                f"{got[address][category]} != {probability}")
+
+
+def bench_concurrent(deanon: DeAnonymizer, addresses: list[str],
+                     expected: dict, workers: list[int], mode: str,
+                     reps: int) -> dict:
+    """Worker-count sweep of the ParallelScorer, parity-checked per count."""
+    sweep = []
+    for count in workers:
+        with ParallelScorer(deanon, max_workers=count, mode=mode) as scorer:
+            if mode == "process":
+                scorer.warm()                    # pool spin-up out of the timing
+            deanon.clear_sample_cache()
+            assert_parity(expected, scorer.score(addresses),
+                          f"concurrent[{mode} x{count}]")
+            best = float("inf")
+            for _ in range(reps):
+                deanon.clear_sample_cache()
+                t0 = time.perf_counter()
+                scorer.score(addresses)
+                best = min(best, time.perf_counter() - t0)
+        sweep.append({"workers": count, "seconds": best,
+                      "addresses_per_second": len(addresses) / best})
+    baseline = sweep[0]["seconds"]
+    for row in sweep:
+        row["speedup_vs_single_worker"] = baseline / row["seconds"]
+    return {"mode": mode, "sweep": sweep}
+
+
+def bench_service(deanon: DeAnonymizer, addresses: list[str], expected: dict,
+                  batch_window: float = 0.01) -> dict:
+    """N concurrent asyncio callers through the micro-batcher, one address each."""
+    latencies: list[float] = []
+    before_batches = deanon.metrics.counter("service.batches")
+
+    async def call(service: ScoringService, address: str) -> dict[str, float]:
+        t0 = time.perf_counter()
+        result = await service.score(address)
+        latencies.append(time.perf_counter() - t0)
+        return result
+
+    async def main():
+        async with ScoringService(deanon, batch_window=batch_window,
+                                  max_batch=len(addresses)) as service:
+            t0 = time.perf_counter()
+            results = await asyncio.gather(
+                *(call(service, address) for address in addresses))
+            return time.perf_counter() - t0, results
+
+    total_seconds, results = asyncio.run(main())
+    for address, result in zip(addresses, results):
+        for category, probability in expected[address].items():
+            assert result[category] == probability, (
+                f"service: parity violated for {address} / {category}")
+    batches = deanon.metrics.counter("service.batches") - before_batches
+    assert batches < len(addresses), (
+        f"micro-batcher did not coalesce: {batches} batches for "
+        f"{len(addresses)} concurrent callers")
+    return {
+        "callers": len(addresses),
+        "batch_window_ms": batch_window * 1e3,
+        "total_seconds": total_seconds,
+        "batches": batches,
+        "requests_per_second": len(addresses) / total_seconds,
+        "latency": percentile_summary(latencies),
+    }
+
+
 def run(scale: float = 0.3, num_addresses: int = 30, epochs: int = 4,
         categories=DEFAULT_CATEGORIES, reps: int = 3, seed: int = 7,
+        workers: list[int] | None = None, concurrent_mode: str = "thread",
         output: Path | None = DEFAULT_OUTPUT) -> dict:
     config = LedgerConfig().scaled(scale)
     config.seed = seed
@@ -79,15 +183,15 @@ def run(scale: float = 0.3, num_addresses: int = 30, epochs: int = 4,
     nodes = list(deanon.builder.graph.nodes)
     addresses = [nodes[i] for i in rng.permutation(len(nodes))[:num_addresses]]
 
+    # Pre-build the shared graph/feature structures so every timed path —
+    # sequential and concurrent alike — measures serving, not first-build.
+    deanon.warm()
+
     # Parity first: the batched facade path must equal the naive loop bit-for-bit.
     expected = naive_score(deanon, addresses)
     deanon.clear_sample_cache()                  # cold start for the timed runs
     batched = deanon.score(addresses)
-    for address in addresses:
-        for category, probability in expected[address].items():
-            assert batched[address][category] == probability, (
-                f"parity violated for {address} / {category}: "
-                f"{batched[address][category]} != {probability}")
+    assert_parity(expected, batched, "batched")
 
     best_naive = float("inf")
     best_batched = float("inf")
@@ -101,6 +205,17 @@ def run(scale: float = 0.3, num_addresses: int = 30, epochs: int = 4,
         deanon.score(addresses)
         best_batched = min(best_batched, time.perf_counter() - t0)
 
+    # Warm single-address latency percentiles (the interactive request shape).
+    single_latencies = []
+    for address in addresses:
+        t0 = time.perf_counter()
+        deanon.score([address])
+        single_latencies.append(time.perf_counter() - t0)
+
+    concurrent = bench_concurrent(deanon, addresses, expected,
+                                  workers or [1, 2, 4], concurrent_mode, reps)
+    service = bench_service(deanon, addresses, expected)
+
     results = {
         "config": {"scale": scale, "num_addresses": num_addresses, "epochs": epochs,
                    "categories": list(categories), "reps": reps, "seed": seed,
@@ -112,10 +227,23 @@ def run(scale: float = 0.3, num_addresses: int = 30, epochs: int = 4,
         "speedup": best_naive / best_batched,
         "batched_addresses_per_second": num_addresses / best_batched,
         "naive_addresses_per_second": num_addresses / best_naive,
+        "latency": {"single_address_warm": percentile_summary(single_latencies)},
+        "concurrent": concurrent,
+        "service": service,
     }
     print(f"[{num_addresses} addresses x {len(categories)} heads] "
           f"batched {best_batched * 1e3:7.1f} ms ({results['batched_addresses_per_second']:6.1f} addr/s) | "
           f"naive {best_naive * 1e3:7.1f} ms | speedup {results['speedup']:.2f}x")
+    lat = results["latency"]["single_address_warm"]
+    print(f"single-address warm latency: p50 {lat['p50_ms']:.1f} ms | "
+          f"p95 {lat['p95_ms']:.1f} ms")
+    for row in concurrent["sweep"]:
+        print(f"parallel[{concurrent['mode']} x{row['workers']}]: "
+              f"{row['seconds'] * 1e3:7.1f} ms ({row['addresses_per_second']:6.1f} addr/s, "
+              f"{row['speedup_vs_single_worker']:.2f}x vs 1 worker)")
+    print(f"service: {service['callers']} callers in {service['batches']} batches | "
+          f"{service['requests_per_second']:6.1f} req/s | "
+          f"p95 {service['latency']['p95_ms']:.1f} ms")
     if output is not None:
         output.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {output}")
@@ -134,16 +262,41 @@ def main() -> None:
                         help="best-of repetitions per measurement")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="path of the JSON results file")
+    parser.add_argument("--workers", type=str, default="1,2,4",
+                        help="comma-separated ParallelScorer worker counts "
+                             "to sweep (default 1,2,4)")
+    parser.add_argument("--concurrent-mode", choices=("thread", "process"),
+                        default="thread",
+                        help="ParallelScorer execution mode for the sweep")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless batched scoring beats the naive loop "
                              "by this factor")
+    parser.add_argument("--min-concurrent-speedup", type=float, default=None,
+                        help="fail unless the largest worker count beats the "
+                             "single-worker run by this factor (opt-in: only "
+                             "meaningful on multi-core hosts)")
+    parser.add_argument("--min-concurrent-throughput", type=float, default=None,
+                        help="fail unless every concurrent sweep row reaches "
+                             "this many addresses/second")
     args = parser.parse_args()
+    workers = [int(w) for w in args.workers.split(",") if w.strip()]
     results = run(scale=args.scale, num_addresses=args.addresses, epochs=args.epochs,
-                  reps=args.reps, output=args.output)
+                  reps=args.reps, workers=workers,
+                  concurrent_mode=args.concurrent_mode, output=args.output)
     if args.min_speedup is not None:
         assert results["speedup"] >= args.min_speedup, (
             f"batched scoring speedup {results['speedup']:.2f}x below "
             f"{args.min_speedup}x")
+    sweep = results["concurrent"]["sweep"]
+    if args.min_concurrent_speedup is not None:
+        best = max(row["speedup_vs_single_worker"] for row in sweep)
+        assert best >= args.min_concurrent_speedup, (
+            f"concurrent speedup {best:.2f}x below {args.min_concurrent_speedup}x")
+    if args.min_concurrent_throughput is not None:
+        slowest = min(row["addresses_per_second"] for row in sweep)
+        assert slowest >= args.min_concurrent_throughput, (
+            f"concurrent throughput {slowest:.1f} addr/s below "
+            f"{args.min_concurrent_throughput}")
 
 
 if __name__ == "__main__":

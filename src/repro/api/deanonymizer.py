@@ -30,12 +30,17 @@ monitoring endpoints.
 
 from __future__ import annotations
 
+import threading
+import time
+
+from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.api.metrics import ServingMetrics
 from repro.api.persistence import load_state, save_state
 from repro.chain.labelcloud import AccountCategory
 from repro.chain.ledger import Ledger
@@ -51,13 +56,35 @@ __all__ = ["DeAnonymizer", "UnknownAddressError"]
 
 
 class UnknownAddressError(KeyError):
-    """Raised when an address cannot be sampled from the transaction graph."""
+    """Raised when addresses cannot be sampled from the transaction graph.
 
-    def __init__(self, address: str):
-        self.address = address
-        super().__init__(
-            f"address {address!r} has no submitted transactions in the ledger's "
-            f"transaction graph, so no account subgraph can be sampled for it")
+    Carries every offending address of a batched request: ``addresses`` is
+    the full tuple (request order), ``address`` the first one (back-compat
+    with the single-address form).  Batched :meth:`DeAnonymizer.score` raises
+    one aggregated instance instead of failing on the first unknown address —
+    callers see the complete rejection list in a single round trip (or pass
+    ``skip_unknown=True`` for partial results).
+    """
+
+    def __init__(self, addresses: str | Sequence[str]):
+        if isinstance(addresses, str):
+            addresses = (addresses,)
+        self.addresses = tuple(addresses)
+        if not self.addresses:
+            raise ValueError("UnknownAddressError needs at least one address")
+        self.address = self.addresses[0]
+        if len(self.addresses) == 1:
+            message = (
+                f"address {self.address!r} has no submitted transactions in the "
+                f"ledger's transaction graph, so no account subgraph can be "
+                f"sampled for it")
+        else:
+            listed = ", ".join(repr(a) for a in self.addresses)
+            message = (
+                f"{len(self.addresses)} addresses have no submitted transactions "
+                f"in the ledger's transaction graph, so no account subgraphs can "
+                f"be sampled for them: {listed}")
+        super().__init__(message)
 
     def __str__(self) -> str:  # KeyError would repr() the message
         return self.args[0]
@@ -85,27 +112,48 @@ class DeAnonymizer:
 
     ``model_config`` may be a :class:`DBG4ETHConfig` (shared by every head) or
     a zero-argument factory returning one (a fresh config per head).
+
+    ``sample_cache_size`` bounds the subgraph sample cache: ``None`` (the
+    default) keeps every sample forever — the right call for small ledgers and
+    batch experiments — while a positive integer turns the cache into an LRU,
+    so a long-running server over a large address space holds at most that
+    many subgraphs in memory.  Hit/miss/eviction counts appear in
+    :meth:`stats`.
     """
 
     def __init__(self, ledger: Ledger | None = None,
                  dataset_config: DatasetConfig | None = None,
                  model_config: DBG4ETHConfig | Callable[[], DBG4ETHConfig] | None = None,
-                 seed: int = 0):
+                 seed: int = 0, sample_cache_size: int | None = None):
+        if sample_cache_size is not None and sample_cache_size < 1:
+            raise ValueError("sample_cache_size must be a positive integer or None")
         self.ledger = ledger
         self.dataset_config = dataset_config or DatasetConfig()
         self.model_config = model_config
         self.seed = seed
+        self.sample_cache_size = sample_cache_size
         self._builder: SubgraphDatasetBuilder | None = None
         self._dataset: SubgraphDataset | None = None
         self._heads: dict[str, DBG4ETH] = {}
-        self._samples: dict[str, AccountSubgraph] = {}
+        self._samples: OrderedDict[str, AccountSubgraph] = OrderedDict()
+        # Reentrant: sample_for() may be re-entered through the builder while
+        # the dataset property seeds the cache under the same lock.
+        self._sample_lock = threading.RLock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        #: Shared serving metrics hook: score() records per-stage timings and
+        #: batch sizes here, and the parallel scorer / asyncio service layers
+        #: record their fan-out and queue-wait observations into the same
+        #: registry, so ``stats()`` is the one monitoring surface.
+        self.metrics = ServingMetrics()
 
     # ---------------------------------------------------------- constructors
     @classmethod
     def from_dataset(cls, dataset: SubgraphDataset, ledger: Ledger | None = None,
                      dataset_config: DatasetConfig | None = None,
                      model_config: DBG4ETHConfig | Callable[[], DBG4ETHConfig] | None = None,
-                     seed: int = 0) -> "DeAnonymizer":
+                     seed: int = 0, sample_cache_size: int | None = None) -> "DeAnonymizer":
         """Wrap an already-built dataset (its samples seed the serving cache).
 
         Pass the ledger as well if addresses beyond the dataset's centre
@@ -120,9 +168,10 @@ class DeAnonymizer:
                 "dataset was built with, so on-demand samples match the training "
                 "distribution")
         instance = cls(ledger=ledger, dataset_config=dataset_config,
-                       model_config=model_config, seed=seed)
+                       model_config=model_config, seed=seed,
+                       sample_cache_size=sample_cache_size)
         instance._dataset = dataset
-        instance._samples = {sample.center: sample for sample in dataset}
+        instance._samples = OrderedDict((sample.center, sample) for sample in dataset)
         return instance
 
     def attach_ledger(self, ledger: Ledger) -> "DeAnonymizer":
@@ -134,28 +183,35 @@ class DeAnonymizer:
         self.ledger = ledger
         self._builder = None
         self._dataset = None
-        self._samples = {}
+        self._samples = OrderedDict()
         return self
 
     # -------------------------------------------------------------- plumbing
     @property
     def builder(self) -> SubgraphDatasetBuilder:
         """The sampling/feature pipeline over the attached ledger."""
-        if self._builder is None:
+        builder = self._builder
+        if builder is None:
             if self.ledger is None:
                 raise RuntimeError(
                     "this DeAnonymizer has no ledger attached; construct it with a "
                     "ledger, or call attach_ledger() after load()")
-            self._builder = SubgraphDatasetBuilder(self.ledger, self.dataset_config)
-        return self._builder
+            with self._sample_lock:
+                builder = self._builder
+                if builder is None:
+                    builder = SubgraphDatasetBuilder(self.ledger, self.dataset_config)
+                    self._builder = builder
+        return builder
 
     @property
     def dataset(self) -> SubgraphDataset:
         """The training dataset (built from the ledger on first use)."""
         if self._dataset is None:
-            self._dataset = self.builder.build()
-            for sample in self._dataset:
-                self._samples.setdefault(sample.center, sample)
+            dataset = self.builder.build()
+            with self._sample_lock:
+                for sample in dataset:
+                    self._samples.setdefault(sample.center, sample)
+            self._dataset = dataset
         return self._dataset
 
     @property
@@ -213,46 +269,107 @@ class DeAnonymizer:
         return self._heads[name]
 
     # --------------------------------------------------------------- serving
+    def warm(self, freeze: bool = False) -> "DeAnonymizer":
+        """Eagerly build every shared structure the scoring path reads.
+
+        Builds the global transaction graph with its lazy indexes and CSR
+        memos, plus the extractor's single-pass feature table, so a pool of
+        concurrent scoring threads never contends on a first-build lock.
+        ``freeze=True`` additionally seals the graph against mutation
+        (:meth:`TxGraph.freeze <repro.graph.txgraph.TxGraph.freeze>`), the
+        recommended setting for a dedicated serving process.
+        """
+        with self.metrics.timed("warm"):
+            self.builder.warm(freeze=freeze)
+        return self
+
     def sample_for(self, address: str) -> AccountSubgraph:
         """The account subgraph for ``address`` (sampled once, then cached).
+
+        The cache is an LRU when ``sample_cache_size`` is set (least recently
+        *served* sample evicted first) and unbounded otherwise.  Cache lookups
+        are thread-safe; the expensive sampling itself runs outside the lock,
+        so concurrent misses on *different* addresses proceed in parallel
+        (two racing misses on the same address both sample, and the first
+        writer's deterministic result is kept — identical to the loser's).
 
         Raises :class:`UnknownAddressError` when the address has no presence in
         the transaction graph (never transacted, or all its transactions were
         filtered out).
         """
-        if address in self._samples:
-            return self._samples[address]
+        with self._sample_lock:
+            sample = self._samples.get(address)
+            if sample is not None:
+                self._cache_hits += 1
+                if self.sample_cache_size is not None:
+                    self._samples.move_to_end(address)
+                return sample
+            self._cache_misses += 1
         builder = self.builder
         if address not in builder.graph:
             raise UnknownAddressError(address)
         sample = builder.build_sample(address)
-        self._samples[address] = sample
-        return sample
+        with self._sample_lock:
+            kept = self._samples.setdefault(address, sample)
+            if self.sample_cache_size is not None:
+                self._samples.move_to_end(address)
+                while len(self._samples) > self.sample_cache_size:
+                    self._samples.popitem(last=False)
+                    self._cache_evictions += 1
+        return kept
 
     def clear_sample_cache(self) -> None:
         """Drop every cached subgraph sample (e.g. to bound server memory)."""
-        self._samples.clear()
+        with self._sample_lock:
+            self._samples.clear()
 
-    def score(self, addresses: str | Sequence[str]) -> dict[str, dict[str, float]]:
+    def score(self, addresses: str | Sequence[str],
+              skip_unknown: bool = False) -> dict[str, dict[str, float]]:
         """Per-category probabilities for raw addresses, end-to-end and batched.
 
         Sampling and feature extraction run once per distinct address; every
         head then scores the same cached subgraph objects, reusing their
         memoized CSR adjacency and time-slice normalisations.
         Returns ``{address: {category: probability}}``.
+
+        Addresses that cannot be sampled are collected across the whole batch
+        and raised as **one** aggregated :class:`UnknownAddressError` (its
+        ``addresses`` tuple lists every offender) — a batch never fails on
+        just the first bad address.  With ``skip_unknown=True`` they are
+        silently omitted from the result instead (the partial-result escape
+        hatch for best-effort serving).
         """
         self._check_fitted()
         if isinstance(addresses, str):
             addresses = [addresses]
         addresses = list(addresses)
         unique = list(dict.fromkeys(addresses))
-        samples = [self.sample_for(address) for address in unique]
-        per_head = {name: head.predict_proba(samples)
-                    for name, head in self._heads.items()}
-        index = {address: i for i, address in enumerate(unique)}
+        t0 = time.perf_counter()
+        samples: dict[str, AccountSubgraph] = {}
+        unknown: list[str] = []
+        for address in unique:
+            try:
+                samples[address] = self.sample_for(address)
+            except UnknownAddressError:
+                unknown.append(address)
+        if unknown and not skip_unknown:
+            raise UnknownAddressError(unknown)
+        known = [address for address in unique if address in samples]
+        sample_list = [samples[address] for address in known]
+        t1 = time.perf_counter()
+        per_head = {name: head.predict_proba(sample_list)
+                    for name, head in self._heads.items()} if known else {}
+        metrics = self.metrics
+        metrics.record_seconds("score.sample", t1 - t0)
+        metrics.record_seconds("score.heads", time.perf_counter() - t1)
+        metrics.record_value("score.batch_size", len(unique))
+        metrics.increment("score.calls")
+        metrics.increment("score.addresses", len(addresses))
+        metrics.increment("score.unknown", len(unknown))
+        index = {address: i for i, address in enumerate(known)}
         return {address: {name: float(per_head[name][index[address]])
                           for name in self._heads}
-                for address in addresses}
+                for address in addresses if address in samples}
 
     def score_all(self) -> dict[str, dict[str, float]]:
         """Score every account in the transaction graph (or, without a ledger,
@@ -283,13 +400,22 @@ class DeAnonymizer:
                 "timespan": (low, high),
             }
         graph = self._builder.graph_if_built() if self._builder is not None else None
+        with self._sample_lock:
+            cache_stats = {
+                "size": len(self._samples),
+                "max_size": self.sample_cache_size,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "evictions": self._cache_evictions,
+            }
         return {
             "ledger": ledger_stats,
             "graph": (None if graph is None
                       else {"num_nodes": graph.num_nodes, "num_edges": graph.num_edges}),
             "fitted_heads": self.categories,
-            "cached_samples": len(self._samples),
+            "cached_samples": cache_stats["size"],
             "dataset_built": self._dataset is not None,
+            "serving": {"sample_cache": cache_stats, **self.metrics.snapshot()},
         }
 
     def predict(self, addresses: str | Sequence[str],
@@ -342,7 +468,7 @@ class DeAnonymizer:
         # heads) must not be served to the restored model.
         self._builder = None
         self._dataset = None
-        self._samples = {}
+        self._samples = OrderedDict()
         self._heads = {name: DBG4ETH.from_state(head_state)
                        for name, head_state in state["heads"].items()}
         return self

@@ -20,12 +20,14 @@ the weight tensors stay binary.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_state", "load_state", "StateFormatError"]
+__all__ = ["save_state", "load_state", "dumps_state", "loads_state",
+           "StateFormatError"]
 
 _ARRAY_TAG = "__ndarray__"
 _TUPLE_TAG = "__tuple__"
@@ -92,6 +94,39 @@ def save_state(path: str | Path, state: dict) -> Path:
     with open(path / ARRAYS_FILE, "wb") as handle:
         np.savez(handle, **arrays)
     return path
+
+
+def dumps_state(state: dict) -> bytes:
+    """Serialize ``state`` to one in-memory blob (same payload as :func:`save_state`).
+
+    Layout: an 8-byte big-endian manifest length, the ``state.json`` document
+    bytes, then the ``arrays.npz`` bytes.  The blob is what :func:`loads_state`
+    reads back bit-for-bit — the transport for shipping a fitted model to
+    process-pool workers (or over a wire) without touching the filesystem.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    document = {"format_version": FORMAT_VERSION, "state": _encode(state, arrays)}
+    manifest = json.dumps(document, sort_keys=False).encode("utf-8")
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return len(manifest).to_bytes(8, "big") + manifest + buffer.getvalue()
+
+
+def loads_state(blob: bytes) -> dict:
+    """Read a state previously serialized by :func:`dumps_state`."""
+    if len(blob) < 8:
+        raise StateFormatError("state blob is truncated (missing manifest length)")
+    manifest_len = int.from_bytes(blob[:8], "big")
+    if len(blob) < 8 + manifest_len:
+        raise StateFormatError("state blob is truncated (manifest shorter than declared)")
+    document = json.loads(blob[8:8 + manifest_len].decode("utf-8"))
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StateFormatError(
+            f"unsupported state format version {version!r} (this build reads {FORMAT_VERSION})")
+    with np.load(io.BytesIO(blob[8 + manifest_len:])) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    return _decode(document["state"], arrays)
 
 
 def load_state(path: str | Path) -> dict:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -45,6 +47,18 @@ class Ledger:
         self._block_timestamps: list[float] = []
         self._block_bounds: list[tuple[int, int]] = []
         self.labels = LabelCloud()
+        # Guards the lazy contract-set rebuild; reads of a quiescent ledger
+        # are lock-free (same contract as the store and graph layers).
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]                  # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # --------------------------------------------------------------- accounts
     def add_account(self, account: Account) -> Account:
@@ -71,10 +85,14 @@ class Ledger:
         account registry has grown since the last call.
         """
         if self._contract_set is None or self._contract_set_accounts != len(self._accounts):
-            self._contract_set = frozenset(
-                address for address, account in self._accounts.items()
-                if account.account_type is AccountType.CONTRACT)
-            self._contract_set_accounts = len(self._accounts)
+            with self._lock:
+                if (self._contract_set is None
+                        or self._contract_set_accounts != len(self._accounts)):
+                    contract_set = frozenset(
+                        address for address, account in self._accounts.items()
+                        if account.account_type is AccountType.CONTRACT)
+                    self._contract_set = contract_set
+                    self._contract_set_accounts = len(self._accounts)
         return self._contract_set
 
     @property

@@ -25,6 +25,8 @@ deviate from it (hand-built ledgers) occupy dictionary entries.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -99,6 +101,19 @@ class ColumnarTxStore:
         self._index_rows = -1
         self._index_indptr: np.ndarray | None = None
         self._index_row_ids: np.ndarray | None = None
+        # Guards the two lazy builds (column consolidation, address index) so
+        # concurrent readers of a quiescent store are safe; writes stay
+        # single-threaded, matching the TxGraph concurrency contract.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]                  # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- interning
     def intern(self, address: str) -> int:
@@ -267,14 +282,21 @@ class ColumnarTxStore:
 
     # --------------------------------------------------------------- columns
     def columns(self) -> TxColumns:
-        """Consolidated column arrays over every registered row (all paths)."""
-        self._flush_row_buffer()
-        if self._chunks:
-            self._consolidated = {
-                name: np.concatenate([self._consolidated[name]]
-                                     + [chunk[name] for chunk in self._chunks])
-                for name, _ in _COLUMN_DTYPES}
-            self._chunks = []
+        """Consolidated column arrays over every registered row (all paths).
+
+        Thread-safe for concurrent readers: consolidation of pending chunks
+        runs under the store lock (a quiescent, fully consolidated store takes
+        the lock-free path).
+        """
+        if self._row_buffer["sender_id"] or self._chunks:
+            with self._lock:
+                self._flush_row_buffer()
+                if self._chunks:
+                    self._consolidated = {
+                        name: np.concatenate([self._consolidated[name]]
+                                             + [chunk[name] for chunk in self._chunks])
+                        for name, _ in _COLUMN_DTYPES}
+                    self._chunks = []
         return TxColumns(**self._consolidated)
 
     # ---------------------------------------------------------------- hashes
@@ -374,7 +396,11 @@ class ColumnarTxStore:
         if account_id is None:
             return np.empty(0, dtype=np.int64)
         if self._index_rows != self._num_rows:
-            self._build_address_index()
+            # Double-checked: _build_address_index assigns _index_rows last,
+            # so the lock-free hit above only sees a fully built index.
+            with self._lock:
+                if self._index_rows != self._num_rows:
+                    self._build_address_index()
         start = self._index_indptr[account_id]
         stop = self._index_indptr[account_id + 1]
         return self._index_row_ids[start:stop]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,9 +46,22 @@ class AccountSubgraph:
     center_index: int
     # Lazily built sparse forms: the subgraph topology never changes after
     # sampling, so the CSR adjacency and time-slice sequences (plus their
-    # memoized normalisations) are shared across every training epoch.
+    # memoized normalisations) are shared across every training epoch.  Builds
+    # are double-check-locked so concurrent scoring threads sharing a sample
+    # all observe the single instance the winning thread built.
     _sparse_cache: dict = field(default_factory=dict, init=False, repr=False,
                                 compare=False)
+    _cache_lock: threading.Lock = field(default_factory=threading.Lock, init=False,
+                                        repr=False, compare=False)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_cache_lock"]            # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     @property
     def num_nodes(self) -> int:
@@ -70,12 +85,18 @@ class AccountSubgraph:
         normalisations — match the dense ``np.log1p(A)`` exactly.
         """
         key = ("adjacency", weighted, log_scale)
-        if key not in self._sparse_cache:
-            base = SparseAdjacency.from_graph(self.graph, weighted=weighted, symmetric=True)
-            if log_scale:
-                base = SparseAdjacency(base.indptr, base.indices, np.log1p(base.data))
-            self._sparse_cache[key] = base
-        return self._sparse_cache[key]
+        cached = self._sparse_cache.get(key)
+        if cached is None:
+            with self._cache_lock:
+                cached = self._sparse_cache.get(key)
+                if cached is None:
+                    cached = SparseAdjacency.from_graph(self.graph, weighted=weighted,
+                                                        symmetric=True)
+                    if log_scale:
+                        cached = SparseAdjacency(cached.indptr, cached.indices,
+                                                 np.log1p(cached.data))
+                    self._sparse_cache[key] = cached
+        return cached
 
     def edge_features(self) -> np.ndarray:
         """Edge feature matrix ``[total amount, count]`` (Section III-B3)."""
@@ -118,10 +139,14 @@ class AccountSubgraph:
         if not sparse:
             return time_slice_adjacency(self.graph, num_slices, weighted=weighted)
         key = ("slices", num_slices, weighted)
-        if key not in self._sparse_cache:
-            self._sparse_cache[key] = time_slice_csr(
-                self.graph, num_slices, weighted=weighted)
-        return self._sparse_cache[key]
+        cached = self._sparse_cache.get(key)
+        if cached is None:
+            with self._cache_lock:
+                cached = self._sparse_cache.get(key)
+                if cached is None:
+                    cached = time_slice_csr(self.graph, num_slices, weighted=weighted)
+                    self._sparse_cache[key] = cached
+        return cached
 
 
 @dataclass
@@ -219,13 +244,49 @@ class SubgraphDatasetBuilder:
         self.config = config or DatasetConfig()
         self._extractor = DeepFeatureExtractor(ledger)
         self._graph: TxGraph | None = None
+        self._graph_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_graph_lock"]            # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._graph_lock = threading.Lock()
 
     @property
     def graph(self) -> TxGraph:
-        """The global account-interaction graph (built lazily, cached)."""
-        if self._graph is None:
-            self._graph = build_transaction_graph(self.ledger)
-        return self._graph
+        """The global account-interaction graph (built lazily, cached).
+
+        Concurrent first accesses serialise on a lock; every thread receives
+        the single graph the winning thread built.
+        """
+        graph = self._graph
+        if graph is None:
+            with self._graph_lock:
+                graph = self._graph
+                if graph is None:
+                    graph = build_transaction_graph(self.ledger)
+                    self._graph = graph
+        return graph
+
+    def warm(self, freeze: bool = False) -> "SubgraphDatasetBuilder":
+        """Eagerly build every shared lazy structure the sampling path reads.
+
+        Builds the global graph, its pair/row indexes and memoized CSR forms
+        (:meth:`TxGraph.warm`), and the extractor's single-pass feature table,
+        so a pool of sampling threads never contends on a build lock.  With
+        ``freeze=True`` the graph is sealed against mutation on top
+        (:meth:`TxGraph.freeze`) — the strongest serving guarantee.
+        """
+        graph = self.graph
+        if freeze:
+            graph.freeze()
+        else:
+            graph.warm()
+        self._extractor.warm()              # forces the global feature table
+        return self
 
     def graph_if_built(self) -> TxGraph | None:
         """The cached global graph, or ``None`` — never triggers the build.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.chain.ledger import Ledger
@@ -96,6 +98,16 @@ class DeepFeatureExtractor:
         self._table_key: tuple[int, int] | None = None
         self._table_features: np.ndarray | None = None
         self._table_ids: dict[str, int] = {}
+        self._table_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_table_lock"]            # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._table_lock = threading.Lock()
 
     def extract(self, address: str, transactions: list[Transaction] | None = None) -> np.ndarray:
         """Return the feature vector (length 15) for ``address``.
@@ -115,6 +127,11 @@ class DeepFeatureExtractor:
         received = [tx for tx in transactions if tx.receiver == address]
         nc = sum(1 for tx in transactions if tx.is_contract_call)
         return _feature_vector(sent, received, nc)
+
+    def warm(self) -> "DeepFeatureExtractor":
+        """Eagerly build the global per-account feature table (idempotent)."""
+        self._global_features()
+        return self
 
     def extract_many(self, addresses: list[str]) -> np.ndarray:
         """Stack feature vectors for a list of addresses into an ``(n, 15)`` matrix.
@@ -149,8 +166,20 @@ class DeepFeatureExtractor:
         interned account ids, so the table is computed straight from the
         ledger's column arrays; addresses that never transacted are absent,
         and addresses with only unsubmitted transactions hold all-zero rows.
+
+        Thread-safe: the build runs under a lock with a double-checked fast
+        path (``_table_key`` is assigned last, so a lock-free hit only ever
+        observes a fully built table); racing readers on a cold extractor all
+        share the single table the winning thread computed.
         """
         key = (self.ledger.num_transactions, self.ledger.num_accounts)
+        if key == self._table_key and self._table_features is not None:
+            return self._table_features, self._table_ids
+        with self._table_lock:
+            return self._build_global_features(key)
+
+    def _build_global_features(self, key: tuple[int, int],
+                               ) -> tuple[np.ndarray, dict[str, int]]:
         if key == self._table_key and self._table_features is not None:
             return self._table_features, self._table_ids
         cols = self.ledger.tx_columns()
@@ -194,9 +223,9 @@ class DeepFeatureExtractor:
                 features[:, offset + 4] = max_gap
                 features[:, 10 + offset // 5] = fee_totals
                 features[:, 12 + offset // 5] = fee_means
-        self._table_key = key
         self._table_features = features
         self._table_ids = account_ids
+        self._table_key = key               # last: publishes the built table
         return features, account_ids
 
 

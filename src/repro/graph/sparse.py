@@ -16,6 +16,8 @@ live in :mod:`repro.gnn.sparse_ops`.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["SparseAdjacency", "segment_reduce"]
@@ -54,10 +56,14 @@ class SparseAdjacency:
       structure).
 
     Derived forms are memoized on the instance, so callers must never mutate
-    the arrays of a ``SparseAdjacency`` they did not just create.
+    the arrays of a ``SparseAdjacency`` they did not just create.  Memo builds
+    are guarded by a per-instance lock (double-checked), so concurrent readers
+    — e.g. parallel scoring threads normalising a shared subgraph adjacency —
+    all observe the same derived instance, bit-identical to a single-threaded
+    build.
     """
 
-    __slots__ = ("indptr", "indices", "data", "num_nodes", "_memo")
+    __slots__ = ("indptr", "indices", "data", "num_nodes", "_memo", "_lock")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray):
         self.indptr = np.asarray(indptr, dtype=np.int64)
@@ -69,6 +75,17 @@ class SparseAdjacency:
         if len(self.indices) != len(self.data) or self.indptr[-1] != len(self.indices):
             raise ValueError("indices/data lengths must match indptr[-1]")
         self._memo: dict = {}
+        # Reentrant: derived-form builds compose other memoized forms of the
+        # same instance (gcn_normalized -> with_self_loops -> rows), so the
+        # building thread re-enters _memoized while holding the lock.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        # Locks are not picklable; memoized forms are cheap to rebuild.
+        return (self.indptr, self.indices, self.data)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
 
     # ---------------------------------------------------------------- builders
     @classmethod
@@ -142,10 +159,8 @@ class SparseAdjacency:
     @property
     def rows(self) -> np.ndarray:
         """COO row index per stored entry (cached expansion of ``indptr``)."""
-        if "rows" not in self._memo:
-            self._memo["rows"] = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
-                                           np.diff(self.indptr))
-        return self._memo["rows"]
+        return self._memoized("rows", lambda: np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)))
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=np.float64)
@@ -165,10 +180,18 @@ class SparseAdjacency:
                 and np.allclose(self.data, t.data))
 
     # ------------------------------------------------------------- derived forms
-    def _memoized(self, key: str, build):
-        if key not in self._memo:
-            self._memo[key] = build()
-        return self._memo[key]
+    def _memoized(self, key, build):
+        # Double-checked: the lock-free read hits after the first build (dict
+        # reads are atomic under the GIL), the lock serialises first builds so
+        # every thread shares the one instance built by the winner.
+        value = self._memo.get(key)
+        if value is None:
+            with self._lock:
+                value = self._memo.get(key)
+                if value is None:
+                    value = build()
+                    self._memo[key] = value
+        return value
 
     def transpose(self) -> "SparseAdjacency":
         """``A.T`` in CSR form (cached; stored slots are unique so no combining)."""

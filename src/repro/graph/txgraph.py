@@ -13,9 +13,20 @@ sorted by endpoint, insertion order preserved within each row), and the
 ``(src, dst) -> slot`` lookup dict is also built lazily, so a bulk-ingested
 graph pays no per-edge Python object or dict cost at construction time.  See
 ``DESIGN.md`` for the column/index invariants.
+
+Concurrency contract: **reads are thread-safe, writes are single-threaded.**
+Every lazy build (pair->slot dict, CSR row index, ``to_csr`` memo) is guarded
+by a per-graph lock with double-checked fast paths, so any number of reader
+threads may race on a cold graph and all observe the one structure the winner
+built — bit-identical to a single-threaded warm-up.  Mutations must not run
+concurrently with reads; serving deployments call :meth:`warm` (pre-build
+every lazy structure) or :meth:`freeze` (warm + reject further mutation)
+before fanning readers out.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator
@@ -101,10 +112,63 @@ class TxGraph:
         self._in_slots: np.ndarray | None = None
         self._csr_version = -1              # to_csr() cache validity
         self._csr_cache: dict = {}
+        # Guards every lazy build above (reentrant: warm() chains them).
+        self._lock = threading.RLock()
+        self._frozen = False
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]                  # locks are not picklable
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------- freezing
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                "TxGraph is frozen: the graph was sealed for concurrent serving "
+                "(freeze()); mutations are no longer allowed")
+
+    def warm(self, csr_keys: Iterable[tuple[bool, bool]] = ((False, True), (True, True)),
+             ) -> "TxGraph":
+        """Eagerly build every lazy read structure (idempotent, thread-safe).
+
+        After ``warm()`` returns, the pair->slot dict, the CSR row index and
+        the :meth:`to_csr` forms for each ``(weighted, symmetric)`` pair in
+        ``csr_keys`` are all in place, so reader threads never contend on a
+        build lock.  The defaults cover the serving path: the symmetric
+        binary/weighted adjacencies consumed by
+        :meth:`~repro.graph.sparse.SparseAdjacency.from_graph`.
+        """
+        with self._lock:
+            self._ensure_slots()
+            self._ensure_adjacency()
+            for weighted, symmetric in csr_keys:
+                self.to_csr(weighted=weighted, symmetric=symmetric)
+        return self
+
+    def freeze(self, csr_keys: Iterable[tuple[bool, bool]] = ((False, True), (True, True)),
+               ) -> "TxGraph":
+        """:meth:`warm` plus sealing: any later mutation raises ``RuntimeError``.
+
+        This is the strongest serving guarantee — once frozen, every read is
+        lock-free against fully built immutable structures.
+        """
+        self.warm(csr_keys)
+        self._frozen = True
+        return self
 
     # ------------------------------------------------------------------ nodes
     def add_node(self, node: Hashable, **attrs) -> None:
         """Add ``node`` (idempotent); merge keyword attributes into its attr dict."""
+        self._check_mutable()
         if node not in self._nodes:
             self._nodes[node] = len(self._node_order)
             self._node_order.append(node)
@@ -127,6 +191,7 @@ class TxGraph:
         return self._node_attrs[node].get(key, default)
 
     def set_node_attr(self, node: Hashable, key: str, value) -> None:
+        self._check_mutable()
         self._node_attrs[node][key] = value
 
     @property
@@ -181,33 +246,43 @@ class TxGraph:
 
     def _ensure_slots(self) -> None:
         """Bring the pair -> slot dict up to date (incremental: append-only)."""
-        start = self._slot_synced
-        m = self._m
-        if start >= m:
+        if self._slot_synced >= self._m:
             return
-        keys = ((self._src[start:m] << np.int64(_PAIR_SHIFT))
-                | self._dst[start:m])
-        self._slot_of.update(zip(keys.tolist(), range(start, m)))
-        self._slot_synced = m
+        with self._lock:
+            start = self._slot_synced
+            m = self._m
+            if start >= m:
+                return
+            keys = ((self._src[start:m] << np.int64(_PAIR_SHIFT))
+                    | self._dst[start:m])
+            self._slot_of.update(zip(keys.tolist(), range(start, m)))
+            self._slot_synced = m
 
     def _ensure_adjacency(self) -> None:
-        """(Re)build the CSR row index when the structure changed since last build."""
+        """(Re)build the CSR row index when the structure changed since last build.
+
+        Double-checked: ``_adj_version`` is assigned last, so the lock-free
+        fast path only ever observes a fully built index.
+        """
         if self._adj_version == self._structure_version:
             return
-        m = self._m
-        n = len(self._node_order)
-        src = self._src[:m]
-        dst = self._dst[:m]
-        # Stable argsort groups each node's slots while preserving global
-        # insertion order within the row — the same iteration order the
-        # per-node dict indexes produced.
-        self._out_slots = np.argsort(src, kind="stable")
-        self._in_slots = np.argsort(dst, kind="stable")
-        self._out_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src, minlength=n), out=self._out_indptr[1:])
-        self._in_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(dst, minlength=n), out=self._in_indptr[1:])
-        self._adj_version = self._structure_version
+        with self._lock:
+            if self._adj_version == self._structure_version:
+                return
+            m = self._m
+            n = len(self._node_order)
+            src = self._src[:m]
+            dst = self._dst[:m]
+            # Stable argsort groups each node's slots while preserving global
+            # insertion order within the row — the same iteration order the
+            # per-node dict indexes produced.
+            self._out_slots = np.argsort(src, kind="stable")
+            self._in_slots = np.argsort(dst, kind="stable")
+            self._out_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(src, minlength=n), out=self._out_indptr[1:])
+            self._in_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(dst, minlength=n), out=self._in_indptr[1:])
+            self._adj_version = self._structure_version
 
     def _edge_at(self, slot: int) -> Edge:
         """Materialise the :class:`Edge` view of one column row."""
@@ -245,6 +320,7 @@ class TxGraph:
         when callers pass ``count=0`` placeholders) keep the existing
         edge's timestamp instead of dividing by zero.
         """
+        self._check_mutable()
         self.add_node(src)
         self.add_node(dst)
         u = self._nodes[src]
@@ -292,6 +368,7 @@ class TxGraph:
         inherently sequential); fresh pairs take the vectorised path, which
         appends whole column blocks — no per-edge Python object or dict write.
         """
+        self._check_mutable()
         srcs = np.asarray(srcs)
         n = len(srcs)
         if n == 0:
@@ -600,22 +677,36 @@ class TxGraph:
         Results are memoized per ``(weighted, symmetric)`` until the graph
         mutates; callers share the arrays and must treat them as immutable
         (the same contract as :class:`~repro.graph.sparse.SparseAdjacency`).
+        Concurrent cold reads serialise on the graph lock and all receive the
+        one set of arrays the winning thread built.
         """
-        if self._csr_version != self._version:
-            self._csr_cache.clear()
-            self._csr_version = self._version
         key = (weighted, symmetric)
-        cached = self._csr_cache.get(key)
-        if cached is not None:
-            return cached
+        if self._csr_version == self._version:
+            # Lock-free hit: the cache dict is replaced (never cleared in
+            # place) on invalidation, so a stale reference still yields a
+            # result consistent with the version it was checked against.
+            cached = self._csr_cache.get(key)
+            if cached is not None:
+                return cached
+        with self._lock:
+            if self._csr_version != self._version:
+                self._csr_cache = {}
+                self._csr_version = self._version
+            cached = self._csr_cache.get(key)
+            if cached is not None:
+                return cached
+            result = self._build_csr(weighted, symmetric)
+            self._csr_cache[key] = result
+            return result
+
+    def _build_csr(self, weighted: bool, symmetric: bool,
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         n = self.num_nodes
         m = self._m
         if not m:
-            result = (np.zeros(n + 1, dtype=np.int64),
-                      np.zeros(0, dtype=np.int64),
-                      np.zeros(0, dtype=np.float64))
-            self._csr_cache[key] = result
-            return result
+            return (np.zeros(n + 1, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.float64))
         rows = self._src[:m]
         cols = self._dst[:m]
         vals = np.array(self._amount[:m]) if weighted else np.ones(m)
@@ -632,9 +723,7 @@ class TxGraph:
         vals = np.maximum.reduceat(vals, starts)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
-        result = (indptr, cols, vals)
-        self._csr_cache[key] = result
-        return result
+        return (indptr, cols, vals)
 
     def feature_matrix(self, key: str = "features", dim: int | None = None) -> np.ndarray:
         """Stack per-node feature vectors stored under attribute ``key``."""

@@ -8,7 +8,9 @@ from repro.api import (
     DeAnonymizer,
     StateFormatError,
     UnknownAddressError,
+    dumps_state,
     load_state,
+    loads_state,
     save_state,
 )
 from repro.core import CalibrationConfig, DBG4ETH, DBG4ETHConfig, GSGConfig, LDGConfig
@@ -77,6 +79,27 @@ class TestScoring:
     def test_unknown_address_raises_clear_error(self, facade):
         with pytest.raises(UnknownAddressError, match="0xNOSUCHADDRESS"):
             facade.score(["0xNOSUCHADDRESS"])
+
+    def test_unknown_addresses_aggregated_across_batch(self, facade):
+        """One error lists every unsampleable address, not just the first."""
+        known = facade.dataset[0].center
+        with pytest.raises(UnknownAddressError) as excinfo:
+            facade.score(["0xBAD1", known, "0xBAD2", "0xBAD3"])
+        assert excinfo.value.addresses == ("0xBAD1", "0xBAD2", "0xBAD3")
+        assert excinfo.value.address == "0xBAD1"   # back-compat single accessor
+        message = str(excinfo.value)
+        assert "3 addresses" in message
+        for bad in ("0xBAD1", "0xBAD2", "0xBAD3"):
+            assert bad in message
+
+    def test_skip_unknown_returns_partial_results(self, facade):
+        addresses = [s.center for s in list(facade.dataset)[:2]]
+        scores = facade.score(addresses + ["0xBAD1"], skip_unknown=True)
+        assert list(scores) == addresses
+        assert scores == facade.score(addresses)
+
+    def test_skip_unknown_all_unknown_returns_empty(self, facade):
+        assert facade.score(["0xBAD1", "0xBAD2"], skip_unknown=True) == {}
 
     def test_unfitted_facade_raises(self, small_ledger):
         deanon = DeAnonymizer(small_ledger)
@@ -223,6 +246,32 @@ class TestPersistence:
         assert target.categories == sorted(CATEGORIES)
 
 
+class TestStateBlobs:
+    def test_dumps_loads_roundtrip_bit_for_bit(self, facade, exchange_task):
+        samples, _labels = exchange_task
+        blob = dumps_state(facade.get_state())
+        assert isinstance(blob, bytes)
+        restored = DeAnonymizer().set_state(loads_state(blob))
+        for category in CATEGORIES:
+            np.testing.assert_array_equal(
+                restored.head(category).predict_proba(samples[:6]),
+                facade.head(category).predict_proba(samples[:6]))
+
+    def test_blob_matches_directory_state(self, facade, tmp_path):
+        facade.save(tmp_path / "model")
+        from_disk = load_state(tmp_path / "model")
+        from_blob = loads_state(dumps_state(facade.get_state()))
+        assert from_disk.keys() == from_blob.keys()
+        assert from_disk["dataset_config"] == from_blob["dataset_config"]
+
+    def test_truncated_blob_raises(self, facade):
+        blob = dumps_state(facade.get_state())
+        with pytest.raises(StateFormatError, match="truncated"):
+            loads_state(blob[:4])
+        with pytest.raises(StateFormatError, match="truncated"):
+            loads_state(blob[:20])
+
+
 class TestStateFiles:
     def test_roundtrip_preserves_types(self, tmp_path):
         state = {
@@ -286,3 +335,26 @@ class TestStats:
         # After touching the builder's graph the sizes show up.
         _ = deanon.builder.graph
         assert deanon.stats()["graph"]["num_nodes"] > 0
+
+    def test_stats_serving_section(self, facade):
+        addresses = [s.center for s in list(facade.dataset)[:3]]
+        facade.score(addresses)
+        serving = facade.stats()["serving"]
+        cache = serving["sample_cache"]
+        assert cache["size"] == len(facade._samples)
+        assert cache["max_size"] is None
+        assert cache["hits"] + cache["misses"] > 0
+        assert serving["counters"]["score.calls"] >= 1
+        assert serving["stages"]["score.sample"]["count"] >= 1
+        assert serving["stages"]["score.heads"]["count"] >= 1
+        assert serving["stages"]["score.batch_size"]["max"] >= 3
+
+    def test_warm_prebuilds_and_freeze_seals(self, small_ledger):
+        deanon = DeAnonymizer(small_ledger)
+        deanon.warm()
+        graph = deanon.builder.graph_if_built()
+        assert graph is not None and not graph.frozen
+        deanon.warm(freeze=True)
+        assert graph.frozen
+        stages = deanon.stats()["serving"]["stages"]
+        assert stages["warm"]["count"] == 2
