@@ -142,6 +142,11 @@ class DeAnonymizer:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        self._cache_invalidations = 0
+        # Follow-the-chain epoch: the ledger data_version this facade has
+        # reconciled its caches against (see refresh()).
+        self._seen_data_version = ledger.data_version if ledger is not None else None
+        self._seen_rows = ledger.num_transactions if ledger is not None else 0
         #: Shared serving metrics hook: score() records per-stage timings and
         #: batch sizes here, and the parallel scorer / asyncio service layers
         #: record their fan-out and queue-wait observations into the same
@@ -184,6 +189,8 @@ class DeAnonymizer:
         self._builder = None
         self._dataset = None
         self._samples = OrderedDict()
+        self._seen_data_version = ledger.data_version
+        self._seen_rows = ledger.num_transactions
         return self
 
     # -------------------------------------------------------------- plumbing
@@ -269,6 +276,57 @@ class DeAnonymizer:
         return self._heads[name]
 
     # --------------------------------------------------------------- serving
+    def refresh(self) -> list[str]:
+        """Reconcile every cache with ledger growth; returns touched addresses.
+
+        O(1) when the ledger has not grown (a single ``data_version``
+        comparison — :meth:`score` and :meth:`sample_for` call this on every
+        request).  When it has, the appended rows are folded in incrementally:
+
+        * the cached global graph ingests the new rows
+          (:meth:`TxGraph.ingest <repro.graph.txgraph.TxGraph.ingest>` —
+          bit-identical to a cold rebuild, O(new rows));
+        * the extractor's per-account feature table refreshes itself lazily on
+          next use (only touched accounts' rows are recomputed);
+        * cached subgraph samples of accounts touched by the new transactions
+          are evicted, so their next score is sampled fresh.
+
+        Untouched accounts keep their cached samples.  Note the documented
+        approximation: a cached sample whose *neighbourhood* (but not the
+        account itself) gained transactions is served unchanged until it is
+        evicted by LRU pressure, touched later, or dropped via
+        :meth:`clear_sample_cache`.
+
+        Follows the graph write contract — must not run concurrently with
+        in-flight scoring threads; a frozen graph raises ``RuntimeError``
+        (freeze() declares the topology immutable; use ``warm()`` without
+        freezing for follow-the-chain serving).
+        """
+        ledger = self.ledger
+        if ledger is None or ledger.data_version == self._seen_data_version:
+            return []
+        with self._sample_lock:
+            if ledger.data_version == self._seen_data_version:
+                return []
+            if self._builder is not None:
+                self._builder.refresh()
+            cols = ledger.tx_columns()
+            old_rows = self._seen_rows
+            new_submitted = cols.submitted[old_rows:]
+            touched_ids = np.unique(np.concatenate([
+                cols.sender_id[old_rows:][new_submitted],
+                cols.receiver_id[old_rows:][new_submitted]]))
+            addresses = ledger.store.addresses
+            touched = [addresses[i] for i in touched_ids.tolist()]
+            for address in touched:
+                if self._samples.pop(address, None) is not None:
+                    self._cache_invalidations += 1
+            self._seen_rows = len(cols.sender_id)
+            self._seen_data_version = ledger.data_version
+            self.metrics.increment("refresh.calls")
+            self.metrics.increment("refresh.touched", len(touched))
+            return touched
+
     def warm(self, freeze: bool = False) -> "DeAnonymizer":
         """Eagerly build every shared structure the scoring path reads.
 
@@ -279,6 +337,7 @@ class DeAnonymizer:
         (:meth:`TxGraph.freeze <repro.graph.txgraph.TxGraph.freeze>`), the
         recommended setting for a dedicated serving process.
         """
+        self.refresh()                      # never warm (or seal) a stale graph
         with self.metrics.timed("warm"):
             self.builder.warm(freeze=freeze)
         return self
@@ -297,6 +356,7 @@ class DeAnonymizer:
         the transaction graph (never transacted, or all its transactions were
         filtered out).
         """
+        self.refresh()
         with self._sample_lock:
             sample = self._samples.get(address)
             if sample is not None:
@@ -340,6 +400,7 @@ class DeAnonymizer:
         hatch for best-effort serving).
         """
         self._check_fitted()
+        self.refresh()
         if isinstance(addresses, str):
             addresses = [addresses]
         addresses = list(addresses)
@@ -375,6 +436,7 @@ class DeAnonymizer:
         """Score every account in the transaction graph (or, without a ledger,
         every cached dataset sample)."""
         self._check_fitted()
+        self.refresh()                      # new accounts become scorable too
         if self.ledger is not None:
             addresses = list(self.builder.graph.nodes)
         else:
@@ -407,6 +469,7 @@ class DeAnonymizer:
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
                 "evictions": self._cache_evictions,
+                "invalidations": self._cache_invalidations,
             }
         return {
             "ledger": ledger_stats,
@@ -469,6 +532,9 @@ class DeAnonymizer:
         self._builder = None
         self._dataset = None
         self._samples = OrderedDict()
+        if self.ledger is not None:
+            self._seen_data_version = self.ledger.data_version
+            self._seen_rows = self.ledger.num_transactions
         self._heads = {name: DBG4ETH.from_state(head_state)
                        for name, head_state in state["heads"].items()}
         return self

@@ -15,6 +15,7 @@ from repro.chain.accounts import Account, AccountType
 from repro.chain.transactions import Transaction, Block
 from repro.chain.txstore import ColumnarTxStore, TxColumns
 from repro.chain.ledger import Ledger
+from repro.chain.backend import BackendFormatError, LedgerBackend
 from repro.chain.labelcloud import LabelCloud, AccountCategory
 from repro.chain.generator import LedgerConfig, LedgerGenerator, generate_ledger
 
@@ -23,9 +24,11 @@ __all__ = [
     "AccountType",
     "Transaction",
     "Block",
+    "BackendFormatError",
     "ColumnarTxStore",
     "TxColumns",
     "Ledger",
+    "LedgerBackend",
     "LabelCloud",
     "AccountCategory",
     "LedgerConfig",

@@ -1,0 +1,331 @@
+"""Durable on-disk backend for the columnar ledger.
+
+``LedgerBackend`` persists a :class:`~repro.chain.ledger.Ledger` — the
+columnar transaction store plus every piece of ledger metadata the serving
+pipeline reads — as a directory of append-only files fronted by a JSON
+manifest:
+
+``manifest.json``
+    Scalar state written **last** on every sync (atomic temp-file +
+    ``os.replace``): row/address/block/account/label counts, the byte length
+    of each variable-width file's valid prefix, the incrementally maintained
+    submitted-timestamp span, the store's :attr:`data_version` epoch, block
+    interval / genesis timestamp, and the sparse explicit-hash table.
+``col_<name>.bin``
+    One raw little-endian binary file per transaction column
+    (``sender_id`` ... ``block_number``), append-only.  On
+    :meth:`load` they are memory-mapped read-only, so opening a
+    million-transaction ledger costs file metadata + page table setup — the
+    column data pages in lazily as consumers touch it.
+``addresses.txt``
+    The interning table, one address per line, in id order (append-only).
+``blocks.bin``
+    Per-block ``(number, timestamp, start_row, stop_row)`` records as one
+    structured little-endian array (append-only).
+``accounts.jsonl`` / ``labels.jsonl``
+    The account registry and the label cloud, one JSON object per line
+    (append-only).
+
+Crash consistency: data files are append-only and the manifest's counts and
+byte lengths define each file's *valid prefix*.  A sync that dies before the
+manifest rename leaves the previous manifest in place, pointing at the old
+consistent prefix; the next sync truncates every file back to its valid
+prefix before appending, so torn trailing writes can never be observed.
+
+Append cost is O(new rows): :meth:`sync` slices each consolidated column at
+the manifest's row count and appends only the new bytes (likewise for new
+addresses, blocks, accounts and labels).  Account ``balance``/``nonce`` are
+captured when the account is first persisted — the de-anonymization pipeline
+reads only address and type, and rewriting the registry per sync would break
+the O(new) contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.chain.accounts import Account, AccountType
+from repro.chain.labelcloud import AccountCategory
+from repro.chain.txstore import _COLUMN_DTYPES, ColumnarTxStore
+
+if TYPE_CHECKING:                           # import cycle: ledger imports us lazily
+    from repro.chain.ledger import Ledger
+
+__all__ = ["LedgerBackend", "BackendFormatError"]
+
+#: Bump when the directory layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Little-endian on-disk dtype of every transaction column.
+_DISK_DTYPES: dict[str, np.dtype] = {
+    name: np.dtype(dtype).newbyteorder("<") for name, dtype in _COLUMN_DTYPES}
+
+#: Structured record layout of ``blocks.bin``.
+_BLOCK_DTYPE = np.dtype([("number", "<i8"), ("timestamp", "<f8"),
+                         ("start", "<i8"), ("stop", "<i8")])
+
+
+class BackendFormatError(RuntimeError):
+    """The on-disk directory is missing, damaged, or from another format."""
+
+
+def _append_bytes(path: Path, valid_size: int, data: bytes) -> None:
+    """Truncate ``path`` to its valid prefix, then append ``data``.
+
+    The truncation discards torn bytes a crashed previous sync may have left
+    beyond the manifest's committed prefix.
+    """
+    mode = "r+b" if path.exists() else "wb"
+    with open(path, mode) as f:
+        f.truncate(valid_size)
+        f.seek(valid_size)
+        if data:
+            f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def _read_prefix(path: Path, valid_size: int) -> bytes:
+    if valid_size == 0:
+        return b""
+    with open(path, "rb") as f:
+        data = f.read(valid_size)
+    if len(data) != valid_size:
+        raise BackendFormatError(
+            f"{path.name} holds {len(data)} bytes but the manifest commits "
+            f"{valid_size}; the backend directory is damaged")
+    return data
+
+
+class LedgerBackend:
+    """Directory-backed persistence for one ledger (see module docstring).
+
+    Usage::
+
+        ledger.sync("chain_dir")            # first sync creates the directory
+        ...append blocks...
+        ledger.sync()                       # O(new rows): appends the delta
+        restarted = Ledger.open("chain_dir")  # memory-mapped columns
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    def exists(self) -> bool:
+        """True when the directory holds a committed manifest."""
+        return self.manifest_path.is_file()
+
+    def _column_path(self, name: str) -> Path:
+        return self.path / f"col_{name}.bin"
+
+    # ------------------------------------------------------------- manifest
+    def read_manifest(self) -> dict:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            raise BackendFormatError(
+                f"{self.path} has no committed manifest; not a ledger backend "
+                f"directory (or the first sync never finished)") from None
+        except json.JSONDecodeError as exc:
+            raise BackendFormatError(
+                f"{self.manifest_path} is not valid JSON: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise BackendFormatError(
+                f"{self.path} uses backend format {version!r}; this build "
+                f"reads format {FORMAT_VERSION}")
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        with open(tmp, "rb") as f:
+            os.fsync(f.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    def _empty_manifest(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "num_rows": 0,
+            "num_addresses": 0,
+            "addresses_bytes": 0,
+            "num_blocks": 0,
+            "num_accounts": 0,
+            "accounts_bytes": 0,
+            "num_labels": 0,
+            "labels_bytes": 0,
+            "data_version": 0,
+            "submitted_ts_min": None,
+            "submitted_ts_max": None,
+            "explicit_hashes": {},
+        }
+
+    # ----------------------------------------------------------------- sync
+    def sync(self, ledger: "Ledger") -> dict:
+        """Persist every row/address/block/account/label appended since the
+        last sync; returns the committed manifest.
+
+        The first sync of a directory writes everything; later syncs are
+        O(new entries).  Raises :class:`BackendFormatError` when ``ledger``
+        holds fewer rows than the directory has committed (it cannot be the
+        ledger this directory was built from — appends are the only mutation).
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        manifest = self.read_manifest() if self.exists() else self._empty_manifest()
+        store = ledger.store
+        cols = store.columns()
+        num_rows = store.num_rows
+        synced_rows = manifest["num_rows"]
+        if num_rows < synced_rows:
+            raise BackendFormatError(
+                f"ledger holds {num_rows} rows but {self.path} has already "
+                f"committed {synced_rows}; refusing to sync a shorter ledger")
+
+        for name, disk_dtype in _DISK_DTYPES.items():
+            fresh = getattr(cols, name)[synced_rows:]
+            _append_bytes(self._column_path(name),
+                          synced_rows * disk_dtype.itemsize,
+                          np.ascontiguousarray(fresh, dtype=disk_dtype).tobytes())
+
+        addresses = store.addresses
+        new_addresses = addresses[manifest["num_addresses"]:]
+        _append_bytes(self.path / "addresses.txt", manifest["addresses_bytes"],
+                      "".join(f"{a}\n" for a in new_addresses).encode("utf-8"))
+        manifest["addresses_bytes"] += sum(
+            len(a.encode("utf-8")) + 1 for a in new_addresses)
+        manifest["num_addresses"] = len(addresses)
+
+        blocks = np.empty(ledger.num_blocks - manifest["num_blocks"],
+                          dtype=_BLOCK_DTYPE)
+        for i, index in enumerate(range(manifest["num_blocks"], ledger.num_blocks)):
+            start, stop = ledger._block_bounds[index]
+            blocks[i] = (ledger._block_numbers[index],
+                         ledger._block_timestamps[index], start, stop)
+        _append_bytes(self.path / "blocks.bin",
+                      manifest["num_blocks"] * _BLOCK_DTYPE.itemsize,
+                      blocks.tobytes())
+        manifest["num_blocks"] = ledger.num_blocks
+
+        accounts = ledger.accounts
+        new_accounts = accounts[manifest["num_accounts"]:]
+        account_lines = "".join(
+            json.dumps({"address": a.address, "type": a.account_type.value,
+                        "balance": a.balance, "nonce": a.nonce},
+                       separators=(",", ":")) + "\n"
+            for a in new_accounts).encode("utf-8")
+        _append_bytes(self.path / "accounts.jsonl", manifest["accounts_bytes"],
+                      account_lines)
+        manifest["accounts_bytes"] += len(account_lines)
+        manifest["num_accounts"] = len(accounts)
+
+        labels = list(ledger.labels.items())
+        new_labels = labels[manifest["num_labels"]:]
+        label_lines = "".join(
+            json.dumps({"address": address, "category": category.value},
+                       separators=(",", ":")) + "\n"
+            for address, category in new_labels).encode("utf-8")
+        _append_bytes(self.path / "labels.jsonl", manifest["labels_bytes"],
+                      label_lines)
+        manifest["labels_bytes"] += len(label_lines)
+        manifest["num_labels"] = len(labels)
+
+        span = store.submitted_timespan()
+        manifest.update(
+            num_rows=num_rows,
+            data_version=store.data_version,
+            submitted_ts_min=None if span is None else span[0],
+            submitted_ts_max=None if span is None else span[1],
+            explicit_hashes={str(row): tx_hash for row, tx_hash
+                             in store._explicit_hash_by_row.items()},
+            block_interval=ledger.block_interval,
+            genesis_timestamp=ledger.genesis_timestamp,
+        )
+        self._write_manifest(manifest)      # last: commits the new prefix
+        return manifest
+
+    # ----------------------------------------------------------------- load
+    def _load_columns(self, num_rows: int, mmap: bool) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for name, disk_dtype in _DISK_DTYPES.items():
+            path = self._column_path(name)
+            memory_dtype = np.dtype(dict(_COLUMN_DTYPES)[name])
+            if num_rows == 0:
+                arrays[name] = np.empty(0, dtype=memory_dtype)
+                continue
+            if path.stat().st_size < num_rows * disk_dtype.itemsize:
+                raise BackendFormatError(
+                    f"{path.name} is shorter than the manifest's {num_rows} "
+                    f"committed rows; the backend directory is damaged")
+            column = np.memmap(path, dtype=disk_dtype, mode="r",
+                               shape=(num_rows,))
+            arrays[name] = column if mmap else np.array(column, dtype=memory_dtype)
+        return arrays
+
+    def load(self, mmap: bool = True) -> "Ledger":
+        """Rebuild the persisted :class:`Ledger`, columns memory-mapped.
+
+        ``mmap=False`` materialises the columns into RAM instead (useful when
+        the directory will be deleted while the ledger object lives on).
+        The returned ledger has this backend attached, so ``ledger.sync()``
+        keeps appending to the same directory.
+        """
+        from repro.chain.ledger import Ledger
+
+        manifest = self.read_manifest()
+        num_rows = manifest["num_rows"]
+
+        store = ColumnarTxStore()
+        store._consolidated = self._load_columns(num_rows, mmap)
+        store._num_rows = num_rows
+        address_bytes = _read_prefix(self.path / "addresses.txt",
+                                     manifest["addresses_bytes"])
+        addresses = address_bytes.decode("utf-8").splitlines()
+        if len(addresses) != manifest["num_addresses"]:
+            raise BackendFormatError(
+                f"addresses.txt holds {len(addresses)} addresses but the "
+                f"manifest commits {manifest['num_addresses']}")
+        store._addresses = addresses
+        store._addr_to_id = {address: i for i, address in enumerate(addresses)}
+        store._explicit_hash_by_row = {
+            int(row): tx_hash for row, tx_hash in manifest["explicit_hashes"].items()}
+        store._row_by_explicit_hash = {
+            tx_hash: row for row, tx_hash in store._explicit_hash_by_row.items()}
+        store._submitted_ts_min = manifest["submitted_ts_min"]
+        store._submitted_ts_max = manifest["submitted_ts_max"]
+        store._data_version = manifest["data_version"]
+
+        ledger = Ledger(block_interval=manifest["block_interval"],
+                        genesis_timestamp=manifest["genesis_timestamp"])
+        ledger._store = store
+        if manifest["num_blocks"]:
+            blocks = np.frombuffer(
+                _read_prefix(self.path / "blocks.bin",
+                             manifest["num_blocks"] * _BLOCK_DTYPE.itemsize),
+                dtype=_BLOCK_DTYPE)
+            ledger._block_numbers = blocks["number"].tolist()
+            ledger._block_timestamps = blocks["timestamp"].tolist()
+            ledger._block_bounds = list(zip(blocks["start"].tolist(),
+                                            blocks["stop"].tolist()))
+        for line in _read_prefix(self.path / "accounts.jsonl",
+                                 manifest["accounts_bytes"]).decode("utf-8").splitlines():
+            record = json.loads(line)
+            ledger.add_account(Account(
+                address=record["address"],
+                account_type=AccountType(record["type"]),
+                balance=record["balance"], nonce=record["nonce"]))
+        for line in _read_prefix(self.path / "labels.jsonl",
+                                 manifest["labels_bytes"]).decode("utf-8").splitlines():
+            record = json.loads(line)
+            ledger.labels.add(record["address"], AccountCategory(record["category"]))
+        ledger._backend = self
+        return ledger

@@ -32,6 +32,14 @@ class Ledger:
     path — a :class:`Block` of :class:`Transaction` objects) and
     :meth:`append_blocks_columnar` (bulk path — whole column arrays split
     into fixed-size blocks, the path ``generate_ledger`` uses).
+
+    Durability: :meth:`sync` persists the ledger into a
+    :class:`~repro.chain.backend.LedgerBackend` directory (append-only column
+    files + JSON manifest; O(new rows) per sync) and :meth:`Ledger.open`
+    restarts from such a directory with the columns memory-mapped — no
+    rebuild.  :attr:`data_version` exposes the store's append epoch so
+    downstream caches (graph, feature table, serving sample cache) can detect
+    growth in O(1).
     """
 
     def __init__(self, block_interval: float = 12.0, genesis_timestamp: float = 1_438_900_000.0):
@@ -47,6 +55,7 @@ class Ledger:
         self._block_timestamps: list[float] = []
         self._block_bounds: list[tuple[int, int]] = []
         self.labels = LabelCloud()
+        self._backend = None
         # Guards the lazy contract-set rebuild; reads of a quiescent ledger
         # are lock-free (same contract as the store and graph layers).
         self._lock = threading.Lock()
@@ -112,6 +121,48 @@ class Ledger:
     def tx_columns(self) -> TxColumns:
         """Consolidated per-transaction column arrays, in block order."""
         return self._store.columns()
+
+    @property
+    def data_version(self) -> int:
+        """The store's monotonic append epoch (O(1)); see
+        :attr:`ColumnarTxStore.data_version`."""
+        return self._store.data_version
+
+    # ------------------------------------------------------------ durability
+    @property
+    def backend(self):
+        """The attached :class:`~repro.chain.backend.LedgerBackend`, or ``None``."""
+        return self._backend
+
+    def sync(self, path=None) -> dict:
+        """Persist rows/blocks/accounts/labels appended since the last sync.
+
+        The first call needs ``path`` (creating the backend directory and
+        attaching it); later calls reuse the attached backend and cost
+        O(new entries).  Returns the committed manifest.
+        """
+        if path is not None:
+            from repro.chain.backend import LedgerBackend
+
+            self._backend = LedgerBackend(path)
+        if self._backend is None:
+            raise RuntimeError(
+                "this ledger has no backend attached; pass sync(path) once to "
+                "create one (or open the ledger with Ledger.open)")
+        return self._backend.sync(self)
+
+    @classmethod
+    def open(cls, path, mmap: bool = True) -> "Ledger":
+        """Restart a persisted ledger from a backend directory.
+
+        Columns are memory-mapped read-only (``mmap=False`` copies them into
+        RAM), so opening costs O(metadata) — the transaction data pages in
+        lazily.  The backend stays attached: appends followed by
+        :meth:`sync` keep extending the same directory.
+        """
+        from repro.chain.backend import LedgerBackend
+
+        return LedgerBackend(path).load(mmap=mmap)
 
     # ----------------------------------------------------------------- blocks
     def append_block(self, block: Block) -> None:

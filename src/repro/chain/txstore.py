@@ -96,9 +96,15 @@ class ColumnarTxStore:
         # Incremental (min, max) timestamp over submitted rows (None = no rows).
         self._submitted_ts_min: float | None = None
         self._submitted_ts_max: float | None = None
+        # Monotonic invalidation epoch: every append bumps it, and a backend
+        # restore carries the persisted value forward, so downstream caches
+        # (graph, feature table, serving sample cache) key their validity on
+        # one integer instead of probing row/account counts individually.
+        self._data_version = 0
         # Lazily built per-address row index (CSR over interned ids); valid
-        # while ``_index_rows`` matches ``_num_rows``.
-        self._index_rows = -1
+        # while ``_index_key`` matches ``(_num_rows, num interned addresses)``
+        # — rows *and* addresses, because interning alone widens the indptr.
+        self._index_key: tuple[int, int] = (-1, -1)
         self._index_indptr: np.ndarray | None = None
         self._index_row_ids: np.ndarray | None = None
         # Guards the two lazy builds (column consolidation, address index) so
@@ -189,6 +195,14 @@ class ColumnarTxStore:
     def num_rows(self) -> int:
         return self._num_rows
 
+    @property
+    def data_version(self) -> int:
+        """Monotonic append epoch; grows on every :meth:`append_tx` /
+        :meth:`append_chunk` call.  Caches across the stack (graph ingestion,
+        the feature table, the serving sample cache) compare this single
+        integer to detect ledger growth in O(1)."""
+        return self._data_version
+
     def __len__(self) -> int:
         return self._num_rows
 
@@ -221,6 +235,7 @@ class ColumnarTxStore:
         if tx.submitted:
             self._record_submitted_span(tx.timestamp)
         self._num_rows += 1
+        self._data_version += 1
         return row
 
     def append_chunk(self, sender_ids: np.ndarray, receiver_ids: np.ndarray,
@@ -269,6 +284,7 @@ class ColumnarTxStore:
             self._record_submitted_span(chunk["timestamp"][sub])
         self._chunks.append(chunk)
         self._num_rows += n
+        self._data_version += 1
         return first_row
 
     def _flush_row_buffer(self) -> None:
@@ -384,22 +400,28 @@ class ColumnarTxStore:
         np.cumsum(counts, out=indptr[1:])
         self._index_indptr = indptr
         self._index_row_ids = owner_rows[order]
-        self._index_rows = n
+        self._index_key = (n, num_accounts)
 
     def rows_for_address(self, address: str) -> np.ndarray:
         """Row ids touching ``address`` (sender or receiver), in block order.
 
         A self-transfer appears exactly once.  Returns an empty array for
         addresses that never transacted.
+
+        Index validity is keyed on ``(num_rows, num_addresses)``: an address
+        interned after the index was built (``intern``/``intern_many`` without
+        an accompanying row append) widens the indptr on the next query
+        instead of indexing past its end.
         """
         account_id = self._addr_to_id.get(address)
         if account_id is None:
             return np.empty(0, dtype=np.int64)
-        if self._index_rows != self._num_rows:
-            # Double-checked: _build_address_index assigns _index_rows last,
+        key = (self._num_rows, len(self._addresses))
+        if self._index_key != key:
+            # Double-checked: _build_address_index assigns _index_key last,
             # so the lock-free hit above only sees a fully built index.
             with self._lock:
-                if self._index_rows != self._num_rows:
+                if self._index_key != (self._num_rows, len(self._addresses)):
                     self._build_address_index()
         start = self._index_indptr[account_id]
         stop = self._index_indptr[account_id + 1]

@@ -296,6 +296,28 @@ class SubgraphDatasetBuilder:
         """
         return self._graph
 
+    def refresh(self) -> list[str]:
+        """Fold ledger rows appended since the graph build into the pipeline.
+
+        Incrementally ingests the new rows into the cached global graph
+        (:meth:`TxGraph.ingest` — O(new rows), bit-identical to a cold
+        rebuild) and returns the addresses incident to the new edges: the
+        invalidation set for per-account caches downstream (the extractor's
+        feature table refreshes itself lazily, keyed on ledger growth, so it
+        needs no explicit call here).  With no cached graph yet — or no new
+        rows — this is a cheap no-op returning ``[]``; later builds see the
+        full ledger anyway.
+
+        Follows the graph's write contract: must not run concurrently with
+        readers (freeze()d graphs refuse; warm()-only serving deployments
+        should call this from a single maintenance thread between batches).
+        """
+        graph = self._graph
+        if graph is None:
+            return []
+        with self._graph_lock:
+            return graph.ingest(self.ledger)
+
     def build(self) -> SubgraphDataset:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)

@@ -159,7 +159,7 @@ class DeepFeatureExtractor:
         return rows
 
     def _global_features(self) -> tuple[np.ndarray, dict[str, int]]:
-        """The full per-account feature table, rebuilt when the ledger grows.
+        """The full per-account feature table, refreshed when the ledger grows.
 
         Returns ``(features, account_ids)`` where ``features[account_ids[a]]``
         is the Table I vector of address ``a``.  Row ids are the store's
@@ -167,10 +167,19 @@ class DeepFeatureExtractor:
         ledger's column arrays; addresses that never transacted are absent,
         and addresses with only unsubmitted transactions hold all-zero rows.
 
+        Growth is handled incrementally: because the store is append-only, a
+        stale table is refreshed by recomputing only the rows of accounts
+        touched by the appended transactions (see
+        :meth:`_update_global_features`) — bit-identical to a full rebuild,
+        at a fraction of the cost — instead of re-sorting the whole ledger.
+
         Thread-safe: the build runs under a lock with a double-checked fast
         path (``_table_key`` is assigned last, so a lock-free hit only ever
         observes a fully built table); racing readers on a cold extractor all
-        share the single table the winning thread computed.
+        share the single table the winning thread computed.  The published
+        table array is never mutated in place — refreshes publish a fresh
+        array — so readers holding a stale reference still see a coherent
+        snapshot of the version they checked against.
         """
         key = (self.ledger.num_transactions, self.ledger.num_accounts)
         if key == self._table_key and self._table_features is not None:
@@ -178,54 +187,116 @@ class DeepFeatureExtractor:
         with self._table_lock:
             return self._build_global_features(key)
 
+    @staticmethod
+    def _compute_feature_rows(sender_ids: np.ndarray, receiver_ids: np.ndarray,
+                              values: np.ndarray, timestamps: np.ndarray,
+                              fees: np.ndarray, is_call: np.ndarray,
+                              n_accounts: int) -> np.ndarray:
+        """The Table I matrix over one set of submitted transaction rows.
+
+        Rows must be in ledger (block) order; per-account statistics depend
+        only on that account's rows, so computing over any row subset that is
+        *complete* for an account yields that account's exact full-table row
+        (``bincount`` accumulates in array order — the same left-fold the
+        full pass performs — and ``lexsort`` is stable, so interval stats sort
+        identically).  Both the full build and the incremental refresh call
+        this one helper, which is what makes them bit-identical.
+        """
+        features = np.zeros((n_accounts, len(FEATURE_NAMES)))
+        # NC counts the distinct transactions involving the account: one
+        # per tx, so a contract-call self-transfer contributes exactly
+        # once (the receiver pass skips self rows).
+        recv_call = np.where(sender_ids == receiver_ids, 0.0, is_call)
+        features[:, 14] = (np.bincount(sender_ids, weights=is_call, minlength=n_accounts)
+                           + np.bincount(receiver_ids, weights=recv_call, minlength=n_accounts))
+
+        for offset, ids in ((0, sender_ids), (5, receiver_ids)):
+            counts = np.bincount(ids, minlength=n_accounts).astype(np.float64)
+            totals = np.bincount(ids, weights=values, minlength=n_accounts)
+            fee_totals = np.bincount(ids, weights=fees, minlength=n_accounts)
+            active = counts > 0
+            means = np.zeros(n_accounts)
+            means[active] = totals[active] / counts[active]
+            fee_means = np.zeros(n_accounts)
+            fee_means[active] = fee_totals[active] / counts[active]
+            order = np.lexsort((timestamps, ids))
+            min_gap, max_gap = _group_interval_stats(
+                ids[order], timestamps[order], n_accounts)
+            features[:, offset + 0] = counts
+            features[:, offset + 1] = totals
+            features[:, offset + 2] = means
+            features[:, offset + 3] = min_gap
+            features[:, offset + 4] = max_gap
+            features[:, 10 + offset // 5] = fee_totals
+            features[:, 12 + offset // 5] = fee_means
+        return features
+
     def _build_global_features(self, key: tuple[int, int],
                                ) -> tuple[np.ndarray, dict[str, int]]:
         if key == self._table_key and self._table_features is not None:
             return self._table_features, self._table_ids
+        if (self._table_key is not None and self._table_features is not None
+                and self._table_key[0] <= key[0] and self._table_key[1] <= key[1]):
+            return self._update_global_features(key)
         cols = self.ledger.tx_columns()
         store = self.ledger.store
         submitted = cols.submitted
         account_ids = dict(store.address_ids)
         n_accounts = store.num_addresses
-        features = np.zeros((n_accounts, len(FEATURE_NAMES)))
         if submitted.any():
-            sender_ids = cols.sender_id[submitted]
-            receiver_ids = cols.receiver_id[submitted]
-            values = cols.value[submitted]
-            timestamps = cols.timestamp[submitted]
-            fees = (cols.gas_price[submitted]
-                    * cols.gas_used[submitted].astype(np.float64) / GWEI_PER_ETH)
-            is_call = cols.is_contract_call[submitted].astype(np.float64)
-
-            # NC counts the distinct transactions involving the account: one
-            # per tx, so a contract-call self-transfer contributes exactly
-            # once (the receiver pass skips self rows).
-            recv_call = np.where(sender_ids == receiver_ids, 0.0, is_call)
-            features[:, 14] = (np.bincount(sender_ids, weights=is_call, minlength=n_accounts)
-                               + np.bincount(receiver_ids, weights=recv_call, minlength=n_accounts))
-
-            for offset, ids in ((0, sender_ids), (5, receiver_ids)):
-                counts = np.bincount(ids, minlength=n_accounts).astype(np.float64)
-                totals = np.bincount(ids, weights=values, minlength=n_accounts)
-                fee_totals = np.bincount(ids, weights=fees, minlength=n_accounts)
-                active = counts > 0
-                means = np.zeros(n_accounts)
-                means[active] = totals[active] / counts[active]
-                fee_means = np.zeros(n_accounts)
-                fee_means[active] = fee_totals[active] / counts[active]
-                order = np.lexsort((timestamps, ids))
-                min_gap, max_gap = _group_interval_stats(
-                    ids[order], timestamps[order], n_accounts)
-                features[:, offset + 0] = counts
-                features[:, offset + 1] = totals
-                features[:, offset + 2] = means
-                features[:, offset + 3] = min_gap
-                features[:, offset + 4] = max_gap
-                features[:, 10 + offset // 5] = fee_totals
-                features[:, 12 + offset // 5] = fee_means
+            features = self._compute_feature_rows(
+                cols.sender_id[submitted], cols.receiver_id[submitted],
+                cols.value[submitted], cols.timestamp[submitted],
+                (cols.gas_price[submitted]
+                 * cols.gas_used[submitted].astype(np.float64) / GWEI_PER_ETH),
+                cols.is_contract_call[submitted].astype(np.float64), n_accounts)
+        else:
+            features = np.zeros((n_accounts, len(FEATURE_NAMES)))
         self._table_features = features
         self._table_ids = account_ids
         self._table_key = key               # last: publishes the built table
+        return features, account_ids
+
+    def _update_global_features(self, key: tuple[int, int],
+                                ) -> tuple[np.ndarray, dict[str, int]]:
+        """Refresh a stale table after append-only ledger growth (O(T) scan,
+        O(touched) recompute — no global re-sort).
+
+        The accounts whose features can have changed are exactly those
+        appearing as sender or receiver of a newly appended *submitted* row.
+        Their table rows are recomputed from scratch over all of their rows
+        (old and new — a boolean-mask gather over the columns), every other
+        row is carried over unchanged, and new accounts get rows computed (or
+        zeros if they have not transacted).  Publishing follows the same
+        discipline as the full build: fresh array, ``_table_key`` last.
+        """
+        cols = self.ledger.tx_columns()
+        store = self.ledger.store
+        old_rows, _old_accounts = self._table_key
+        n_accounts = store.num_addresses
+        features = np.zeros((n_accounts, len(FEATURE_NAMES)))
+        old_table = self._table_features
+        features[:old_table.shape[0]] = old_table
+        new_submitted = cols.submitted[old_rows:]
+        touched = np.unique(np.concatenate([
+            cols.sender_id[old_rows:][new_submitted],
+            cols.receiver_id[old_rows:][new_submitted]]))
+        if touched.size:
+            lut = np.zeros(n_accounts, dtype=bool)
+            lut[touched] = True
+            mask = (cols.submitted
+                    & (lut[cols.sender_id] | lut[cols.receiver_id]))
+            computed = self._compute_feature_rows(
+                cols.sender_id[mask], cols.receiver_id[mask],
+                cols.value[mask], cols.timestamp[mask],
+                (cols.gas_price[mask]
+                 * cols.gas_used[mask].astype(np.float64) / GWEI_PER_ETH),
+                cols.is_contract_call[mask].astype(np.float64), n_accounts)
+            features[touched] = computed[touched]
+        account_ids = dict(store.address_ids)
+        self._table_features = features
+        self._table_ids = account_ids
+        self._table_key = key               # last: publishes the refreshed table
         return features, account_ids
 
 

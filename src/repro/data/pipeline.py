@@ -46,6 +46,10 @@ def build_transaction_graph(ledger: Ledger, min_value: float = 0.0,
     ``Transaction`` object is ever materialised.  ``columnar=False`` keeps the
     per-object loop; both paths produce bit-identical graphs (pinned by
     ``tests/test_data_pipeline.py``).
+
+    The built graph remembers how many ledger rows it consumed (and the dust
+    filter), so blocks appended to the ledger afterwards can be folded in
+    incrementally with :meth:`TxGraph.ingest` instead of a full rebuild.
     """
     graph = TxGraph()
     if columnar:
@@ -61,6 +65,8 @@ def build_transaction_graph(ledger: Ledger, min_value: float = 0.0,
         for tx in filter_transactions(ledger.transactions(), min_value=min_value):
             graph.add_edge(tx.sender, tx.receiver, amount=tx.value, count=1,
                            timestamp=tx.timestamp)
+    graph._ingested_rows = ledger.num_transactions
+    graph._ingest_min_value = min_value
     contracts = ledger.contract_address_set()
     labels = ledger.labels
     for node in graph.nodes:

@@ -112,6 +112,11 @@ class TxGraph:
         self._in_slots: np.ndarray | None = None
         self._csr_version = -1              # to_csr() cache validity
         self._csr_cache: dict = {}
+        # Follow-the-chain bookkeeping: how many ledger rows this graph has
+        # consumed and with which dust filter (set by build_transaction_graph,
+        # advanced by ingest()).
+        self._ingested_rows = 0
+        self._ingest_min_value = 0.0
         # Guards every lazy build above (reentrant: warm() chains them).
         self._lock = threading.RLock()
         self._frozen = False
@@ -451,7 +456,10 @@ class TxGraph:
                                   float(timestamps[i]))
                 keep = ~replay
                 if not keep.any():
-                    self._version += 1
+                    # The replayed add_edge calls above already bumped
+                    # _version once per merge; a further bump here would
+                    # needlessly invalidate CSR forms warmed between bulk
+                    # calls that turn out to be pure replays.
                     return
                 src_codes, dst_codes = src_codes[keep], dst_codes[keep]
                 amounts, counts, timestamps = (amounts[keep], counts[keep],
@@ -525,6 +533,75 @@ class TxGraph:
         self._m = stop
         self._version += 1
         self._structure_version += 1
+
+    @property
+    def ingested_rows(self) -> int:
+        """Ledger rows consumed so far (the default ``from_row`` of :meth:`ingest`)."""
+        return self._ingested_rows
+
+    def ingest(self, ledger, from_row: int | None = None,
+               min_value: float | None = None) -> list:
+        """Incrementally ingest ledger rows appended since the last build.
+
+        The O(new rows) twin of
+        :func:`~repro.data.pipeline.build_transaction_graph`: rows
+        ``[from_row, ledger.num_transactions)`` of the ledger's columnar store
+        are filtered with the same predicate (submitted, non-self, value >=
+        ``min_value``) and merged into this graph through
+        :meth:`add_edges_bulk` — so the result is **bit-identical** to
+        rebuilding the whole graph from scratch over the grown ledger: nodes
+        and merged edges keep global first-appearance order, and merges into
+        existing edges replay the same left-fold amount sums and iterative
+        count-weighted timestamp means.  New nodes receive the same
+        ``is_contract`` / ``label`` attributes the full build assigns.
+
+        ``from_row`` defaults to :attr:`ingested_rows` (maintained by
+        ``build_transaction_graph`` and previous ``ingest`` calls);
+        ``min_value`` defaults to the filter the graph was built with.
+        Returns the addresses incident to the newly ingested edges — the
+        invalidation set for downstream per-account caches (feature rows,
+        serving subgraph samples).
+
+        A frozen graph (:meth:`freeze`) raises ``RuntimeError`` when there are
+        rows to ingest: sealing is the declaration that no reader will ever
+        observe a mutation, so a follow-the-chain deployment must use
+        :meth:`warm` instead.  With no new rows, ``ingest`` is a no-op and
+        returns ``[]`` even on a frozen graph.
+        """
+        cols = ledger.tx_columns()
+        total = len(cols.sender_id)
+        if from_row is None:
+            from_row = self._ingested_rows
+        if min_value is None:
+            min_value = self._ingest_min_value
+        if from_row >= total:
+            return []
+        self._check_mutable()
+        sl = slice(from_row, total)
+        sender_ids = cols.sender_id[sl]
+        receiver_ids = cols.receiver_id[sl]
+        keep = (cols.submitted[sl]
+                & (sender_ids != receiver_ids)
+                & (cols.value[sl] >= min_value))
+        sender_ids = sender_ids[keep]
+        receiver_ids = receiver_ids[keep]
+        addresses = ledger.store.addresses
+        first_new_node = len(self._node_order)
+        if len(sender_ids):
+            self.add_edges_bulk(
+                sender_ids, receiver_ids,
+                amounts=cols.value[sl][keep], timestamps=cols.timestamp[sl][keep],
+                node_keys=addresses)
+        self._ingested_rows = total
+        contracts = ledger.contract_address_set()
+        labels = ledger.labels
+        for node in self._node_order[first_new_node:]:
+            attrs = self._node_attrs[node]
+            attrs["is_contract"] = node in contracts
+            label = labels.get(node)
+            attrs["label"] = label.value if label else None
+        touched_ids = np.unique(np.concatenate([sender_ids, receiver_ids]))
+        return [addresses[i] for i in touched_ids.tolist()]
 
     def has_edge(self, src: Hashable, dst: Hashable) -> bool:
         u = self._nodes.get(src)

@@ -166,6 +166,57 @@ class TestAddressIndex:
         store.append_tx(make_tx(1, sender="0xbb", receiver="0xaa"))
         assert store.rows_for_address("0xaa").tolist() == [0, 1]
 
+    def test_intern_after_index_built_then_query(self):
+        """Regression: an address interned *after* the index was built used to
+        index past the CSR indptr (IndexError) — the validity key only watched
+        the row count, and ``intern`` adds no rows."""
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, sender="0xaa", receiver="0xbb"))
+        assert store.rows_for_address("0xaa").tolist() == [0]   # builds the index
+        store.intern("0xlate")              # widens the table, no new rows
+        assert store.rows_for_address("0xlate").tolist() == []
+        assert store.rows_for_address("0xaa").tolist() == [0]
+
+    def test_intern_then_append_then_query(self):
+        """Regression companion: query between interning and the chunk append,
+        and again after the rows land."""
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0, sender="0xaa", receiver="0xbb"))
+        store.rows_for_address("0xbb")                          # builds the index
+        sender_ids, receiver_ids = store.intern_pairs(["0xcc"], ["0xdd"])
+        assert store.rows_for_address("0xdd").tolist() == []    # was IndexError
+        store.append_chunk(sender_ids, receiver_ids, np.array([9.0]),
+                           np.array([30.0]), np.array([21_000]),
+                           np.array([2000.0]), np.array([False]),
+                           np.array([True]), np.array([1]))
+        assert store.rows_for_address("0xdd").tolist() == [1]
+        assert store.rows_for_address("0xaa").tolist() == [0]
+
+
+class TestDataVersion:
+    def test_every_append_call_bumps_the_epoch(self):
+        store = ColumnarTxStore()
+        assert store.data_version == 0
+        store.append_tx(make_tx(0))
+        assert store.data_version == 1
+        sender_ids, receiver_ids = store.intern_pairs(["0xcc", "0xcc"],
+                                                      ["0xdd", "0xee"])
+        store.append_chunk(sender_ids, receiver_ids, np.ones(2), np.ones(2),
+                           np.full(2, 21_000), np.array([10.0, 20.0]),
+                           np.zeros(2, dtype=bool), np.ones(2, dtype=bool),
+                           np.zeros(2, dtype=np.int64))
+        assert store.data_version == 2      # one bump per append *call*
+
+    def test_reads_do_not_bump_the_epoch(self):
+        store = ColumnarTxStore()
+        store.append_tx(make_tx(0))
+        before = store.data_version
+        store.columns()
+        store.rows_for_address("0xaa")
+        store.intern("0xreader")            # interning alone is not ledger growth
+        store.materialize(0)
+        assert store.data_version == before
+
 
 class TestTimespan:
     def test_submitted_timespan_tracks_min_max(self):

@@ -212,7 +212,7 @@ def test_sample_cache_lru_bound_and_counters(small_ledger, served_addresses):
     assert set(deanon._samples) == {a, c}
     cache = deanon.stats()["serving"]["sample_cache"]
     assert cache == {"size": 2, "max_size": 2, "hits": 1, "misses": 3,
-                     "evictions": 1}
+                     "evictions": 1, "invalidations": 0}
     deanon.sample_for(b)          # miss again: b was evicted
     assert deanon.stats()["serving"]["sample_cache"]["misses"] == 4
     assert len(deanon._samples) == 2

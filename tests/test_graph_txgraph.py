@@ -269,3 +269,59 @@ def test_add_edges_bulk_property_parity(rows):
                         amounts=np.array([r[2] for r in rows]),
                         timestamps=np.array([r[3] for r in rows]))
     _assert_graphs_bit_identical(sequential, bulk)
+
+
+class TestBulkVersionEpoch:
+    """Pin the mutation-epoch accounting of ``add_edges_bulk`` replays."""
+
+    @staticmethod
+    def _seeded():
+        g = TxGraph()
+        g.add_edge("a", "b", amount=1.0, count=1, timestamp=10.0)
+        g.add_edge("b", "c", amount=2.0, count=1, timestamp=20.0)
+        return g
+
+    def test_all_replay_bulk_bumps_version_once_per_merge(self):
+        """Regression: the all-replay early return used to bump ``_version``
+        one extra time on top of the per-merge bumps the replayed
+        ``add_edge`` calls already made."""
+        g = self._seeded()
+        before = g._version
+        g.add_edges_bulk(np.array([0, 1]), np.array([1, 2]),
+                         amounts=np.array([3.0, 4.0]),
+                         timestamps=np.array([30.0, 40.0]),
+                         node_keys=["a", "b", "c"])
+        assert g._version == before + 2
+
+    def test_version_parity_with_sequential_path(self):
+        """Bulk and sequential application of the same replay rows leave the
+        graph at the same epoch — so cache-validity behaviour (``to_csr``
+        keys on ``_version``) is path-independent."""
+        bulk, seq = self._seeded(), self._seeded()
+        rows = [("a", "b", 5.0, 50.0), ("b", "c", 6.0, 60.0), ("a", "b", 7.0, 70.0)]
+        bulk.add_edges_bulk(np.array([0, 1, 0]), np.array([1, 2, 1]),
+                            amounts=np.array([r[2] for r in rows]),
+                            timestamps=np.array([r[3] for r in rows]),
+                            node_keys=["a", "b", "c"])
+        for src, dst, amount, ts in rows:
+            seq.add_edge(src, dst, amount=amount, count=1, timestamp=ts)
+        assert bulk._version == seq._version
+        _assert_graphs_bit_identical(seq, bulk)
+
+    def test_all_replay_keeps_structure_memos(self):
+        """Payload-only replays retain the warmed CSR row index: merges never
+        change topology, so ``_structure_version`` (and with it the
+        ``out_edges``/``in_edges`` row memo) must survive the bulk call."""
+        g = self._seeded()
+        list(g.out_edges("a"))              # warms the row index
+        structure_before = g._structure_version
+        assert g._adj_version == structure_before
+        g.add_edges_bulk(np.array([0, 0]), np.array([1, 1]),
+                         amounts=np.array([1.0, 1.0]),
+                         timestamps=np.array([5.0, 6.0]),
+                         node_keys=["a", "b", "c"])
+        assert g._structure_version == structure_before
+        assert g._adj_version == structure_before
+        # The merged payload is visible through the retained memo.
+        [edge] = [e for e in g.out_edges("a") if e.dst == "b"]
+        assert edge.count == 3
