@@ -9,9 +9,9 @@ columnar transaction store rewrote:
 * ``graph``    — global transaction-graph construction
   (``build_transaction_graph`` columnar bulk ingest vs the per-object loop).
 
-Behavioural raw-tx synthesis is timed separately (``behavior_seconds``): it
-is identical for both paths — the same Python/RNG stream — so it is excluded
-from the headline speedup but included in the reported end-to-end times.
+Scenario raw-tx synthesis is timed separately (``synthesize_seconds``): it
+is identical for both paths — the same vectorised RNG stream — so it is
+excluded from the headline speedup but included in the end-to-end times.
 Both paths must produce bit-identical ledgers and graphs; parity is asserted
 before any timing is recorded.  Results land in ``BENCH_ledger.json``,
 including a million-transaction row in the default configuration.
@@ -36,7 +36,6 @@ Run::
 from __future__ import annotations
 
 import argparse
-import copy
 import json
 import tempfile
 import time
@@ -45,13 +44,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.chain import LedgerConfig, Ledger, LedgerGenerator, generate_ledger
-from repro.chain.behaviors import behavior_for
 from repro.data.dataset import DatasetConfig, SubgraphDatasetBuilder
 from repro.data.features import DeepFeatureExtractor
 from repro.data.pipeline import build_transaction_graph
 
-#: Transactions generated by LedgerConfig at scale 1.0 with seed 7 (measured).
-_TXS_PER_UNIT_SCALE = 6087.0
+#: Transactions generated per unit of LedgerConfig scale with seed 7
+#: (measured on the nine-scenario engine at scale 100).
+_TXS_PER_UNIT_SCALE = 8316.0
 
 DEFAULT_SCALES = (10_000, 100_000, 1_000_000)
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_ledger.json"
@@ -61,22 +60,6 @@ def _timed(fn):
     t0 = time.perf_counter()
     result = fn()
     return time.perf_counter() - t0, result
-
-
-def _synthesize_raw(gen: LedgerGenerator, rng: np.random.Generator):
-    """Accounts + behavioural raw transactions (identical for both paths)."""
-    cfg = gen.config
-    scratch = Ledger(genesis_timestamp=cfg.start_timestamp)
-    background = gen._create_background_accounts(scratch)
-    contracts = gen._create_contract_accounts(scratch)
-    labeled = gen._create_labeled_accounts(scratch)
-    raw_txs = []
-    for address, category in labeled:
-        behavior = behavior_for(category)
-        raw_txs.extend(behavior(address, background, contracts, rng,
-                                cfg.start_timestamp, cfg.timespan))
-    raw_txs.extend(gen._background_traffic(background, contracts, rng))
-    return scratch, raw_txs
 
 
 def _assert_ledger_parity(columnar: Ledger, objects: Ledger) -> None:
@@ -106,36 +89,32 @@ def bench_scale(target_txs: int, seed: int = 7, skip_object: bool = False) -> di
     config.seed = seed
     gen = LedgerGenerator(config)
 
-    rng = np.random.default_rng(config.seed)
-    behavior_time, (scratch, raw_txs) = _timed(lambda: _synthesize_raw(gen, rng))
-
-    # Both assembly paths start from identical raw tuples and RNG state.
-    rng_col = copy.deepcopy(rng)
-    rng_obj = copy.deepcopy(rng)
+    # Both assembly paths start from identical synthesized raw columns and
+    # RNG state (synthesis registers accounts/labels and pre-interns ids into
+    # the ledger it is given, so each path gets its own identically-seeded run).
+    rng_col = np.random.default_rng(config.seed)
     columnar_ledger = Ledger(genesis_timestamp=config.start_timestamp)
+    synthesize_time, raw = _timed(lambda: gen.synthesize(columnar_ledger, rng_col))
     assemble_col, _ = _timed(lambda: gen._assemble_blocks_columnar(
-        columnar_ledger, list(raw_txs), rng_col))
+        columnar_ledger, raw, rng_col))
     record = {
         "target_transactions": target_txs,
         "num_transactions": columnar_ledger.num_transactions,
-        "num_accounts": scratch.num_accounts,
-        "behavior_seconds": behavior_time,
+        "num_accounts": columnar_ledger.num_accounts,
+        "synthesize_seconds": synthesize_time,
         "assemble_seconds": {"columnar": assemble_col},
         "graph_seconds": {},
     }
 
     if not skip_object:
+        rng_obj = np.random.default_rng(config.seed)
         object_ledger = Ledger(genesis_timestamp=config.start_timestamp)
+        raw_obj = gen.synthesize(object_ledger, rng_obj)
         assemble_obj, _ = _timed(lambda: gen._assemble_blocks_objects(
-            object_ledger, list(raw_txs), rng_obj))
+            object_ledger, raw_obj, rng_obj))
         _assert_ledger_parity(columnar_ledger, object_ledger)
         record["assemble_seconds"].update(
             object=assemble_obj, speedup=assemble_obj / assemble_col)
-
-    # Labels live on the scratch ledger (accounts were registered there).
-    columnar_ledger.labels = scratch.labels
-    for account in scratch.accounts:
-        columnar_ledger.add_account(account)
 
     graph_col_time, graph_col = _timed(
         lambda: build_transaction_graph(columnar_ledger, columnar=True))
@@ -152,10 +131,10 @@ def bench_scale(target_txs: int, seed: int = 7, skip_object: bool = False) -> di
         record["ledger_graph_speedup"] = ((assemble_obj + graph_obj_time)
                                           / (assemble_col + graph_col_time))
         record["end_to_end_seconds"] = {
-            "columnar": behavior_time + assemble_col + graph_col_time,
-            "object": behavior_time + assemble_obj + graph_obj_time,
-            "speedup": ((behavior_time + assemble_obj + graph_obj_time)
-                        / (behavior_time + assemble_col + graph_col_time)),
+            "columnar": synthesize_time + assemble_col + graph_col_time,
+            "object": synthesize_time + assemble_obj + graph_obj_time,
+            "speedup": ((synthesize_time + assemble_obj + graph_obj_time)
+                        / (synthesize_time + assemble_col + graph_col_time)),
         }
 
     # Single-pass feature table straight from the column arrays (info only).
@@ -289,7 +268,7 @@ def run(scales=DEFAULT_SCALES, output: Path | None = DEFAULT_OUTPUT,
         record = bench_scale(target, seed=seed, skip_object=skip_object)
         results["scales"].append(record)
         line = (f"[{record['num_transactions']:>8} txs] "
-                f"behaviors {record['behavior_seconds']*1e3:8.1f} ms | "
+                f"synthesize {record['synthesize_seconds']*1e3:8.1f} ms | "
                 f"assemble {record['assemble_seconds']['columnar']*1e3:8.1f} ms")
         if "speedup" in record["assemble_seconds"]:
             line += (f" ({record['assemble_seconds']['speedup']:5.1f}x) | "

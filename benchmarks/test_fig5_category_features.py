@@ -9,6 +9,7 @@ categories is clearly separated.
 import numpy as np
 
 from benchmarks.conftest import record_result
+from repro.chain import AccountCategory
 from repro.experiments import category_feature_summary
 
 
@@ -26,7 +27,7 @@ def test_fig5_category_features(benchmark, bench_dataset):
         lines.append(f"{category:<14}" + "".join(f"{row[g]:8.3f}" for g in groups))
     record_result("fig5_category_features", "\n".join(lines))
 
-    assert set(summary) == {"exchange", "ico-wallet", "mining", "phish/hack", "bridge", "defi"}
+    assert set(summary) == {c.value for c in AccountCategory}
     # Paper shape: category profiles differ — the largest pairwise gap across
     # the grouped features is substantial.
     vectors = {cat: np.array([row[g] for g in groups]) for cat, row in summary.items()}

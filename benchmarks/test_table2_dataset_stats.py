@@ -5,6 +5,7 @@ paper reports for its Ethereum label crawl, on the synthetic ledger.
 """
 
 from benchmarks.conftest import record_result
+from repro.chain import AccountCategory
 
 
 def build_statistics(dataset):
@@ -21,7 +22,7 @@ def test_table2_dataset_statistics(benchmark, bench_dataset):
                      f"{row['avg_nodes']:>12.1f}{row['avg_edges']:>12.1f}")
     record_result("table2_dataset_stats", "\n".join(lines))
 
-    assert set(stats) == {"exchange", "ico-wallet", "mining", "phish/hack", "bridge", "defi"}
+    assert set(stats) == {c.value for c in AccountCategory}
     for row in stats.values():
         assert row["num_positive"] >= 2
         assert row["avg_nodes"] > 1.0

@@ -16,6 +16,12 @@ The serving-grade flow of the reproduction in five steps:
 Run with::
 
     python examples/quickstart.py [--scale 0.4]
+    python examples/quickstart.py --scenarios exchange mixer wash-trading \
+        --category mixer
+
+``--scenarios`` restricts the synthetic ledger to a subset of the registered
+scenario families (see ``repro.chain.scenarios``); ``--category`` picks which
+one-vs-rest head to train (default: ``exchange``).
 """
 
 from __future__ import annotations
@@ -24,14 +30,22 @@ import argparse
 import tempfile
 
 from repro import DeAnonymizer, LedgerConfig, generate_ledger
+from repro.chain import AccountCategory
 from repro.data import DatasetConfig, train_test_split
 from repro.experiments.runner import fast_dbg4eth_config
 from repro.metrics import classification_report
 
 
-def main(scale: float = 0.4) -> None:
+def main(scale: float = 0.4, scenarios: list[str] | None = None,
+         category: str = "exchange") -> None:
     print("1. Generating a synthetic Ethereum ledger ...")
-    ledger = generate_ledger(LedgerConfig().scaled(scale))
+    config = LedgerConfig()
+    if scenarios:
+        config = config.with_scenarios(scenarios)
+        if category not in {c.value for c in config.labeled_per_category}:
+            raise SystemExit(f"--category {category!r} is not among "
+                             f"--scenarios {scenarios}")
+    ledger = generate_ledger(config.scaled(scale))
     summary = ledger.summary()
     print(f"   {summary['num_accounts']} accounts, {summary['num_transactions']} transactions, "
           f"{summary['num_labeled']} labelled accounts")
@@ -43,13 +57,13 @@ def main(scale: float = 0.4) -> None:
     dataset = deanon.dataset
     print(f"   {len(dataset)} subgraph samples across categories {dataset.categories()}")
 
-    print("3. Training the 'exchange' one-vs-rest head on a 70% split ...")
-    samples, labels = dataset.binary_task("exchange")
+    print(f"3. Training the {category!r} one-vs-rest head on a 70% split ...")
+    samples, labels = dataset.binary_task(category)
     train_s, train_y, test_s, test_y = train_test_split(samples, labels, test_fraction=0.3)
-    deanon.fit_category("exchange", train_s, train_y)
+    deanon.fit_category(category, train_s, train_y)
 
     print("4. Evaluating on the held-out split ...")
-    report = classification_report(test_y, deanon.predict_samples("exchange", test_s))
+    report = classification_report(test_y, deanon.predict_samples(category, test_s))
     for metric, value in report.items():
         print(f"   {metric:>9}: {value * 100:6.2f}%")
 
@@ -62,11 +76,11 @@ def main(scale: float = 0.4) -> None:
         for address, per_category in scores.items():
             truth = ledger.labels.get(address)
             label = truth.value if truth else "unlabeled"
-            print(f"   {address}  P(exchange)={per_category['exchange']:.3f}  "
+            print(f"   {address}  P({category})={per_category[category]:.3f}  "
                   f"true: {label}")
 
-    print("6. Adaptive calibration weights of the exchange head (Eq. 24-25):")
-    for branch, weights in deanon.head("exchange").calibration_weights().items():
+    print(f"6. Adaptive calibration weights of the {category!r} head (Eq. 24-25):")
+    for branch, weights in deanon.head(category).calibration_weights().items():
         formatted = ", ".join(f"{name}={weight:+.2f}" for name, weight in weights.items())
         print(f"   {branch.upper()}: {formatted}")
 
@@ -75,4 +89,12 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.4,
                         help="ledger scale multiplier (smaller = faster; CI uses 0.15)")
-    main(parser.parse_args().scale)
+    parser.add_argument("--scenarios", nargs="+", default=None,
+                        metavar="FAMILY",
+                        choices=[c.value for c in AccountCategory],
+                        help="restrict the ledger to these scenario families "
+                             "(default: all nine)")
+    parser.add_argument("--category", default="exchange",
+                        help="which one-vs-rest head to train (default: exchange)")
+    args = parser.parse_args()
+    main(args.scale, scenarios=args.scenarios, category=args.category)

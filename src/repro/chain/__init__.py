@@ -5,7 +5,9 @@ joined with Etherscan / XLabelCloud labels.  Neither is available offline, so
 this subpackage simulates the closest equivalent: a deterministic ledger of
 externally-owned and contract accounts whose transaction streams follow
 per-category behavioural archetypes (exchange, ICO-wallet, mining, phish/hack,
-bridge, DeFi) plus an unlabeled background population.  Every field the
+bridge, DeFi, plus the wash-trading / airdrop-farming / mixer attack
+families) and an unlabeled background population, synthesized by the
+vectorised scenario engine in :mod:`repro.chain.scenarios`.  Every field the
 downstream pipeline consumes — sender, receiver, value, gas price, gas used,
 timestamp and contract-call flag — is produced with category-distinct
 distributions so that the whole DBG4ETH pipeline is exercised end-to-end.
@@ -18,6 +20,15 @@ from repro.chain.ledger import Ledger
 from repro.chain.backend import BackendFormatError, LedgerBackend
 from repro.chain.labelcloud import LabelCloud, AccountCategory
 from repro.chain.generator import LedgerConfig, LedgerGenerator, generate_ledger
+from repro.chain.scenarios import (
+    RawTxBlock,
+    Scenario,
+    ScenarioCheckError,
+    ScenarioEnvelope,
+    register_scenario,
+    registered_scenarios,
+    scenario_for,
+)
 
 __all__ = [
     "Account",
@@ -34,4 +45,11 @@ __all__ = [
     "LedgerConfig",
     "LedgerGenerator",
     "generate_ledger",
+    "RawTxBlock",
+    "Scenario",
+    "ScenarioCheckError",
+    "ScenarioEnvelope",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario_for",
 ]

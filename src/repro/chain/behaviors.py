@@ -1,25 +1,14 @@
-"""Per-category behavioural archetypes for the synthetic ledger.
+"""Per-tuple behaviour API, now a compatibility shim over the scenario engine.
 
-Each behaviour function receives the labelled (centre) address, a pool of
-counterparty addresses, a pool of contract addresses and a seeded random
-generator, and returns raw transaction tuples
-``(sender, receiver, value, gas_price, gas_used, timestamp, is_contract_call)``.
-
-The archetypes encode the qualitative patterns that make the paper's six
-categories separable from transaction data alone:
-
-* **exchange** — a high-degree hub with balanced deposit/withdrawal flow spread
-  evenly over the whole observation window.
-* **ico-wallet** — a crowd-sale: a dense burst of small inbound contributions in
-  an early window followed by a few large outbound disbursements.
-* **mining** — near-periodic, near-constant reward income with occasional pooled
-  payouts.
-* **phish/hack** — a short burst of victim inflows followed immediately by
-  sweeping the funds out to one or two collector addresses at high gas price.
-* **bridge** — lock/release pairs: inbound deposits matched by outbound releases
-  of almost the same value shortly afterwards, mediated by contract calls.
-* **defi** — contract-call-heavy, bidirectional, moderate-value interactions
-  with a handful of protocol contracts.
+The behavioural archetypes themselves live in :mod:`repro.chain.scenarios`
+as vectorised :class:`~repro.chain.scenarios.Scenario` classes (see that
+package's docstrings for the per-category patterns).  This module keeps the
+original tuple-based surface — one centre address in, a list of
+``(sender, receiver, value, gas_price, gas_used, timestamp, is_contract_call)``
+tuples out — by running the matching scenario over an ad-hoc id universe and
+mapping the resulting columns back to address strings.  Useful for notebooks
+and tests that want a handful of transactions without a ledger; the generator
+itself calls the scenarios directly on interned id arrays.
 """
 
 from __future__ import annotations
@@ -29,6 +18,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.chain.labelcloud import AccountCategory
+from repro.chain.scenarios import registered_scenarios, scenario_for
 
 __all__ = ["RawTx", "BEHAVIORS", "behavior_for"]
 
@@ -39,144 +29,62 @@ _CONTRACT_GAS = 90_000
 
 
 def _sample_counterparties(rng: np.random.Generator, pool: Sequence[str], n: int) -> list[str]:
+    """Sample up to ``n`` distinct members of ``pool`` (all of them if fewer).
+
+    Safe on degenerate pools: an empty pool yields ``[]`` and a singleton
+    pool yields its single member, without touching the RNG stream for the
+    empty case.
+    """
     n = min(n, len(pool))
+    if n <= 0:
+        return []
     idx = rng.choice(len(pool), size=n, replace=False)
     return [pool[i] for i in idx]
 
 
-def exchange_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                      rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Hot-wallet style hub: many deposits in, many withdrawals out, all window long."""
-    txs: list[RawTx] = []
-    n_counterparties = int(rng.integers(25, 45))
-    counterparties = _sample_counterparties(rng, users, n_counterparties)
-    for user in counterparties:
-        n_deposits = int(rng.integers(1, 4))
-        for _ in range(n_deposits):
-            t = start + rng.uniform(0.0, span)
-            value = float(rng.lognormal(mean=0.5, sigma=1.0))
-            gas_price = float(rng.uniform(20, 60))
-            txs.append((user, center, value, gas_price, _TRANSFER_GAS, t, False))
-        if rng.random() < 0.8:
-            t = start + rng.uniform(0.0, span)
-            value = float(rng.lognormal(mean=0.3, sigma=1.0))
-            gas_price = float(rng.uniform(20, 60))
-            txs.append((center, user, value, gas_price, _TRANSFER_GAS, t, False))
-    return txs
+def _run_scenario(category: AccountCategory, center: str, users: Sequence[str],
+                  contracts: Sequence[str], rng: np.random.Generator,
+                  start: float, span: float) -> list[RawTx]:
+    """Run ``category``'s scenario for one centre, returning address tuples."""
+    addresses = [center, *users, *contracts]
+    centers = np.zeros(1, dtype=np.int64)
+    user_ids = np.arange(1, 1 + len(users), dtype=np.int64)
+    contract_ids = np.arange(1 + len(users), len(addresses), dtype=np.int64)
+    block = scenario_for(category).synthesize(
+        centers, user_ids, contract_ids, rng, start, span)
+    return [
+        (addresses[s], addresses[r], float(v), float(g), int(gu), float(t), bool(c))
+        for s, r, v, g, gu, t, c in zip(
+            block.sender_id.tolist(), block.receiver_id.tolist(),
+            block.value.tolist(), block.gas_price.tolist(),
+            block.gas_used.tolist(), block.timestamp.tolist(),
+            block.is_contract_call.tolist())
+    ]
 
 
-def ico_wallet_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                        rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Crowd-sale inflow burst followed by a few large disbursements."""
-    txs: list[RawTx] = []
-    sale_window = span * 0.15
-    sale_start = start + rng.uniform(0.0, span * 0.2)
-    contributors = _sample_counterparties(rng, users, int(rng.integers(20, 40)))
-    total_raised = 0.0
-    for user in contributors:
-        t = sale_start + rng.uniform(0.0, sale_window)
-        value = float(rng.lognormal(mean=-0.5, sigma=0.7))
-        total_raised += value
-        txs.append((user, center, value, float(rng.uniform(30, 80)), _TRANSFER_GAS, t, False))
-    # Disbursement: a handful of big outgoing transfers much later.
-    treasuries = _sample_counterparties(rng, users, int(rng.integers(2, 5)))
-    remaining = total_raised * 0.95
-    for treasury in treasuries:
-        t = sale_start + sale_window + rng.uniform(span * 0.2, span * 0.6)
-        value = remaining / len(treasuries)
-        txs.append((center, treasury, value, float(rng.uniform(20, 40)), _TRANSFER_GAS, t, False))
-    return txs
+def _behavior(category: AccountCategory) -> Callable[..., list[RawTx]]:
+    def run(center: str, users: Sequence[str], contracts: Sequence[str],
+            rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
+        return _run_scenario(category, center, users, contracts, rng, start, span)
 
-
-def mining_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                    rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Periodic near-constant reward income with occasional payouts."""
-    txs: list[RawTx] = []
-    pool = users[int(rng.integers(0, len(users)))]
-    n_rewards = int(rng.integers(30, 60))
-    period = span / n_rewards
-    reward = float(rng.uniform(1.8, 3.2))
-    for i in range(n_rewards):
-        t = start + i * period + rng.normal(0.0, period * 0.02)
-        jittered = reward * float(rng.uniform(0.97, 1.03))
-        txs.append((pool, center, jittered, float(rng.uniform(10, 25)), _TRANSFER_GAS, t, False))
-    payees = _sample_counterparties(rng, users, int(rng.integers(2, 5)))
-    for payee in payees:
-        t = start + rng.uniform(span * 0.3, span)
-        value = reward * float(rng.uniform(5, 15))
-        txs.append((center, payee, value, float(rng.uniform(10, 25)), _TRANSFER_GAS, t, False))
-    return txs
-
-
-def phish_hack_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                        rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Victim-inflow burst immediately swept out to collectors at high gas price."""
-    txs: list[RawTx] = []
-    burst_start = start + rng.uniform(0.0, span * 0.7)
-    burst_len = span * rng.uniform(0.01, 0.05)
-    victims = _sample_counterparties(rng, users, int(rng.integers(10, 30)))
-    stolen = 0.0
-    for victim in victims:
-        t = burst_start + rng.uniform(0.0, burst_len)
-        value = float(rng.lognormal(mean=0.0, sigma=1.2))
-        stolen += value
-        txs.append((victim, center, value, float(rng.uniform(40, 120)), _TRANSFER_GAS, t, False))
-    collectors = _sample_counterparties(rng, users, int(rng.integers(1, 3)))
-    sweep_time = burst_start + burst_len
-    for collector in collectors:
-        t = sweep_time + rng.uniform(0.0, burst_len)
-        value = stolen * 0.98 / len(collectors)
-        txs.append((center, collector, value, float(rng.uniform(80, 200)), _TRANSFER_GAS, t, False))
-    return txs
-
-
-def bridge_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                    rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Lock/release pairs mediated by contract calls with matched amounts."""
-    txs: list[RawTx] = []
-    n_pairs = int(rng.integers(15, 35))
-    depositors = _sample_counterparties(rng, users, min(n_pairs, len(users)))
-    relay_contracts = _sample_counterparties(rng, contracts, max(1, min(3, len(contracts))))
-    for i in range(n_pairs):
-        depositor = depositors[i % len(depositors)]
-        t = start + rng.uniform(0.0, span * 0.95)
-        value = float(rng.lognormal(mean=0.8, sigma=0.8))
-        txs.append((depositor, center, value, float(rng.uniform(25, 70)), _CONTRACT_GAS, t, True))
-        # Release on the "other side": nearly the same amount minus a bridge fee.
-        lag = rng.uniform(120.0, 3600.0)
-        release_value = value * float(rng.uniform(0.985, 0.999))
-        relay = relay_contracts[int(rng.integers(0, len(relay_contracts)))]
-        txs.append((center, relay, release_value, float(rng.uniform(25, 70)),
-                    _CONTRACT_GAS, t + lag, True))
-    return txs
-
-
-def defi_behavior(center: str, users: Sequence[str], contracts: Sequence[str],
-                  rng: np.random.Generator, start: float, span: float) -> list[RawTx]:
-    """Contract-call-heavy bidirectional interaction with a few protocol contracts."""
-    txs: list[RawTx] = []
-    protocols = _sample_counterparties(rng, contracts, max(1, min(5, len(contracts))))
-    n_interactions = int(rng.integers(30, 60))
-    for _ in range(n_interactions):
-        protocol = protocols[int(rng.integers(0, len(protocols)))]
-        t = start + rng.uniform(0.0, span)
-        value = float(rng.lognormal(mean=-0.3, sigma=0.9))
-        gas_price = float(rng.uniform(30, 90))
-        if rng.random() < 0.55:
-            txs.append((center, protocol, value, gas_price, _CONTRACT_GAS, t, True))
-        else:
-            txs.append((protocol, center, value, gas_price, _CONTRACT_GAS, t, True))
-    return txs
+    run.__name__ = f"{category.name.lower()}_behavior"
+    run.__doc__ = f"Tuple-based shim over {scenario_for(category).__class__.__name__}."
+    return run
 
 
 BEHAVIORS: dict[AccountCategory, Callable[..., list[RawTx]]] = {
-    AccountCategory.EXCHANGE: exchange_behavior,
-    AccountCategory.ICO_WALLET: ico_wallet_behavior,
-    AccountCategory.MINING: mining_behavior,
-    AccountCategory.PHISH_HACK: phish_hack_behavior,
-    AccountCategory.BRIDGE: bridge_behavior,
-    AccountCategory.DEFI: defi_behavior,
+    category: _behavior(category) for category in registered_scenarios()
 }
+
+exchange_behavior = BEHAVIORS[AccountCategory.EXCHANGE]
+ico_wallet_behavior = BEHAVIORS[AccountCategory.ICO_WALLET]
+mining_behavior = BEHAVIORS[AccountCategory.MINING]
+phish_hack_behavior = BEHAVIORS[AccountCategory.PHISH_HACK]
+bridge_behavior = BEHAVIORS[AccountCategory.BRIDGE]
+defi_behavior = BEHAVIORS[AccountCategory.DEFI]
+wash_trading_behavior = BEHAVIORS[AccountCategory.WASH_TRADING]
+airdrop_farming_behavior = BEHAVIORS[AccountCategory.AIRDROP_FARMING]
+mixer_behavior = BEHAVIORS[AccountCategory.MIXER]
 
 
 def behavior_for(category: AccountCategory) -> Callable[..., list[RawTx]]:

@@ -1,15 +1,26 @@
-"""Deterministic synthetic-ledger generation."""
+"""Deterministic synthetic-ledger generation via the scenario engine.
+
+The generator registers the account population (background users, contracts,
+labelled centres), then asks each registered scenario
+(:mod:`repro.chain.scenarios`) to synthesize its labelled behaviour as one
+columnar :class:`RawTxBlock` per category — batched RNG draws across all of
+the category's centres at once, no per-transaction Python objects.  The
+concatenated stream is sorted by timestamp and appended to the ledger's
+columnar store in one bulk call.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from repro.chain.accounts import Account, AccountType, make_address
-from repro.chain.behaviors import RawTx, behavior_for
 from repro.chain.labelcloud import AccountCategory
 from repro.chain.ledger import Ledger
+from repro.chain.scenarios import RawTxBlock, scenario_for
+from repro.chain.scenarios.base import CONTRACT_GAS, TRANSFER_GAS
 from repro.chain.transactions import Block, Transaction
 
 __all__ = ["LedgerConfig", "LedgerGenerator", "generate_ledger"]
@@ -19,9 +30,11 @@ __all__ = ["LedgerConfig", "LedgerGenerator", "generate_ledger"]
 class LedgerConfig:
     """Configuration for :class:`LedgerGenerator`.
 
-    The default category counts are scaled-down versions of the paper's Table II
-    (which has 231 exchanges, 155 ICO wallets, 56 miners, 1991 phishers, 105
-    bridges and 105 DeFi accounts) so that the full pipeline runs on a laptop.
+    The default category counts are scaled-down versions of the paper's Table
+    II (which has 231 exchanges, 155 ICO wallets, 56 miners, 1991 phishers,
+    105 bridges and 105 DeFi accounts) so that the full pipeline runs on a
+    laptop, extended with the three post-paper attack families the scenario
+    engine adds (wash-trading, airdrop-farming, mixer).
     """
 
     labeled_per_category: dict[AccountCategory, int] = field(default_factory=lambda: {
@@ -31,6 +44,9 @@ class LedgerConfig:
         AccountCategory.PHISH_HACK: 40,
         AccountCategory.BRIDGE: 12,
         AccountCategory.DEFI: 12,
+        AccountCategory.WASH_TRADING: 10,
+        AccountCategory.AIRDROP_FARMING: 14,
+        AccountCategory.MIXER: 10,
     })
     num_background_users: int = 400
     num_contracts: int = 40
@@ -40,6 +56,9 @@ class LedgerConfig:
     background_tx_count: int = 600
     unsubmitted_fraction: float = 0.01
     seed: int = 7
+    #: Run each scenario's statistical self-check after synthesis (skipped
+    #: automatically when the counterparty pools are degenerate).
+    validate_scenarios: bool = False
 
     def scaled(self, factor: float) -> "LedgerConfig":
         """Return a copy with category counts and background sizes scaled by ``factor``."""
@@ -56,17 +75,36 @@ class LedgerConfig:
             background_tx_count=max(50, int(round(self.background_tx_count * factor))),
             unsubmitted_fraction=self.unsubmitted_fraction,
             seed=self.seed,
+            validate_scenarios=self.validate_scenarios,
         )
+
+    def with_scenarios(self, categories: Iterable[AccountCategory | str]) -> "LedgerConfig":
+        """Return a copy restricted to the given scenario families.
+
+        ``categories`` accepts :class:`AccountCategory` members or their value
+        strings; categories absent from the current count table get the
+        default config's count for that category.
+        """
+        wanted = [AccountCategory(c) for c in categories]
+        if not wanted:
+            raise ValueError("at least one scenario category is required")
+        defaults = LedgerConfig().labeled_per_category
+        counts = {cat: self.labeled_per_category.get(cat, defaults.get(cat, 2))
+                  for cat in wanted}
+        clone = LedgerConfig(**{**vars(self)})
+        clone.labeled_per_category = counts
+        return clone
 
 
 class LedgerGenerator:
     """Build a :class:`~repro.chain.Ledger` from a :class:`LedgerConfig`.
 
-    ``columnar=True`` (the default) assembles blocks column-wise straight
-    into the ledger's :class:`~repro.chain.txstore.ColumnarTxStore` without
-    creating a single :class:`Transaction` object; ``columnar=False`` keeps
-    the original per-object assembly loop.  Both paths draw from the RNG in
-    the same order and produce identical ledgers (pinned by
+    ``columnar=True`` (the default) sorts the synthesized
+    :class:`RawTxBlock` and appends it column-wise straight into the ledger's
+    :class:`~repro.chain.txstore.ColumnarTxStore` without creating a single
+    :class:`Transaction` object; ``columnar=False`` keeps a per-object
+    assembly loop over the same rows.  Both paths draw from the RNG in the
+    same order and produce identical ledgers (pinned by
     ``tests/test_chain_generator.py``).
     """
 
@@ -78,19 +116,43 @@ class LedgerGenerator:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         ledger = Ledger(genesis_timestamp=cfg.start_timestamp)
+        raw = self.synthesize(ledger, rng)
+        self._assemble_blocks(ledger, raw, rng)
+        return ledger
 
+    def synthesize(self, ledger: Ledger, rng: np.random.Generator) -> RawTxBlock:
+        """Register the account population and synthesize every raw transaction.
+
+        Returns the unsorted concatenated :class:`RawTxBlock` of all scenario
+        and background traffic; account addresses are pre-interned into the
+        ledger's store in creation order, so the block's id columns are valid
+        store account ids (used by both assembly paths).
+        """
+        cfg = self.config
         background = self._create_background_accounts(ledger)
         contracts = self._create_contract_accounts(ledger)
         labeled = self._create_labeled_accounts(ledger)
 
-        raw_txs: list[RawTx] = []
-        for address, category in labeled:
-            behavior = behavior_for(category)
-            raw_txs.extend(behavior(address, background, contracts, rng,
-                                    cfg.start_timestamp, cfg.timespan))
-        raw_txs.extend(self._background_traffic(background, contracts, rng))
-        self._assemble_blocks(ledger, raw_txs, rng)
-        return ledger
+        store = ledger.store
+        user_ids = store.intern_many(background)
+        contract_ids = store.intern_many(contracts)
+        labeled_ids = store.intern_many([address for address, _ in labeled])
+
+        blocks: list[RawTxBlock] = []
+        offset = 0
+        for category, count in cfg.labeled_per_category.items():
+            centers = labeled_ids[offset:offset + count]
+            offset += count
+            scenario = scenario_for(category)
+            block = scenario.synthesize(centers, user_ids, contract_ids, rng,
+                                        cfg.start_timestamp, cfg.timespan)
+            if (cfg.validate_scenarios and len(user_ids) > 1
+                    and len(contract_ids) > 1):
+                scenario.self_check(block, centers, cfg.start_timestamp,
+                                    cfg.timespan)
+            blocks.append(block)
+        blocks.append(self._background_traffic_block(user_ids, contract_ids, rng))
+        return RawTxBlock.concat(blocks)
 
     # ------------------------------------------------------------------ helpers
     def _create_background_accounts(self, ledger: Ledger) -> list[str]:
@@ -113,45 +175,62 @@ class LedgerGenerator:
         labeled: list[tuple[str, AccountCategory]] = []
         index = 0
         for category, count in self.config.labeled_per_category.items():
-            for _ in range(count):
+            scenario = scenario_for(category)
+            for position in range(count):
                 address = make_address(index, prefix="L")
                 account_type = (AccountType.CONTRACT
-                                if category in (AccountCategory.BRIDGE, AccountCategory.DEFI)
-                                and index % 2 == 0 else AccountType.EOA)
+                                if scenario.is_contract_center(position)
+                                else AccountType.EOA)
                 ledger.add_account(Account(address, account_type))
                 ledger.labels.add(address, category)
                 labeled.append((address, category))
                 index += 1
         return labeled
 
-    def _background_traffic(self, users: list[str], contracts: list[str],
-                            rng: np.random.Generator) -> list[RawTx]:
-        """Random peer-to-peer chatter among unlabeled users."""
+    def _background_traffic_block(self, user_ids: np.ndarray,
+                                  contract_ids: np.ndarray,
+                                  rng: np.random.Generator) -> RawTxBlock:
+        """Random peer-to-peer chatter among unlabeled users (vectorised)."""
         cfg = self.config
-        txs: list[RawTx] = []
-        for _ in range(cfg.background_tx_count):
-            sender, receiver = rng.choice(len(users), size=2, replace=False)
-            is_contract_call = rng.random() < 0.15
-            target = (contracts[int(rng.integers(0, len(contracts)))]
-                      if is_contract_call else users[receiver])
-            txs.append((
-                users[sender], target,
-                float(rng.lognormal(mean=-0.5, sigma=1.0)),
-                float(rng.uniform(15, 60)),
-                90_000 if is_contract_call else 21_000,
-                cfg.start_timestamp + rng.uniform(0.0, cfg.timespan),
-                is_contract_call,
-            ))
-        return txs
+        n = cfg.background_tx_count
+        num_users = len(user_ids)
+        if n == 0 or num_users == 0:
+            return RawTxBlock.empty()
+        senders = user_ids[rng.integers(0, num_users, size=n)]
+        # Distinct receiver via a nonzero modular offset (uniform over the
+        # other users); degenerate single-user pools keep only contract calls.
+        if num_users > 1:
+            offsets = rng.integers(1, num_users, size=n)
+            receivers = user_ids[(np.searchsorted(user_ids, senders) + offsets)
+                                 % num_users]
+        else:
+            receivers = senders.copy()
+        is_call = rng.random(n) < 0.15
+        if len(contract_ids):
+            receivers = np.where(
+                is_call, contract_ids[rng.integers(0, len(contract_ids), size=n)],
+                receivers)
+        else:
+            is_call[:] = False
+        block = RawTxBlock(
+            senders, receivers,
+            rng.lognormal(mean=-0.5, sigma=1.0, size=n),
+            rng.uniform(15, 60, size=n),
+            np.where(is_call, CONTRACT_GAS, TRANSFER_GAS),
+            cfg.start_timestamp + rng.uniform(0.0, cfg.timespan, size=n),
+            is_call)
+        if num_users == 1:
+            block = block.take(np.flatnonzero(block.is_contract_call))
+        return block
 
-    def _assemble_blocks(self, ledger: Ledger, raw_txs: list[RawTx],
+    def _assemble_blocks(self, ledger: Ledger, raw: RawTxBlock,
                          rng: np.random.Generator) -> None:
         if self.columnar:
-            self._assemble_blocks_columnar(ledger, raw_txs, rng)
+            self._assemble_blocks_columnar(ledger, raw, rng)
         else:
-            self._assemble_blocks_objects(ledger, raw_txs, rng)
+            self._assemble_blocks_objects(ledger, raw, rng)
 
-    def _assemble_blocks_columnar(self, ledger: Ledger, raw_txs: list[RawTx],
+    def _assemble_blocks_columnar(self, ledger: Ledger, raw: RawTxBlock,
                                   rng: np.random.Generator) -> None:
         """Column-wise block assembly: no per-``Transaction`` object creation.
 
@@ -162,39 +241,39 @@ class LedgerGenerator:
         timestamps, and the same derived ``0x{row:064x}`` hashes.
         """
         cfg = self.config
-        n = len(raw_txs)
+        n = len(raw)
         if n == 0:
             return
-        timestamps = np.fromiter((tx[5] for tx in raw_txs), dtype=np.float64, count=n)
-        order = np.argsort(timestamps, kind="stable")
-        order_list = order.tolist()
-        senders = [raw_txs[i][0] for i in order_list]
-        receivers = [raw_txs[i][1] for i in order_list]
-        values = np.round(
-            np.fromiter((tx[2] for tx in raw_txs), dtype=np.float64, count=n)[order], 8)
-        gas_prices = np.round(
-            np.fromiter((tx[3] for tx in raw_txs), dtype=np.float64, count=n)[order], 4)
-        gas_used = np.fromiter((tx[4] for tx in raw_txs), dtype=np.int64, count=n)[order]
-        is_call = np.fromiter((tx[6] for tx in raw_txs), dtype=np.bool_, count=n)[order]
+        ordered = raw.take(np.argsort(raw.timestamp, kind="stable"))
         submitted = rng.random(n) >= cfg.unsubmitted_fraction
         ledger.append_blocks_columnar(
-            senders, receivers, values, gas_prices, gas_used, timestamps[order],
-            is_call, submitted, transactions_per_block=cfg.transactions_per_block)
+            ordered.sender_id, ordered.receiver_id,
+            np.round(ordered.value, 8), np.round(ordered.gas_price, 4),
+            ordered.gas_used, ordered.timestamp, ordered.is_contract_call,
+            submitted, transactions_per_block=cfg.transactions_per_block)
 
-    def _assemble_blocks_objects(self, ledger: Ledger, raw_txs: list[RawTx],
+    def _assemble_blocks_objects(self, ledger: Ledger, raw: RawTxBlock,
                                  rng: np.random.Generator) -> None:
-        """The original object path: one ``Transaction`` per raw tuple."""
+        """The original object path: one ``Transaction`` per raw row."""
         cfg = self.config
-        raw_txs.sort(key=lambda tx: tx[5])
+        if len(raw) == 0:
+            return
+        ordered = raw.take(np.argsort(raw.timestamp, kind="stable"))
+        address = ledger.store.address
+        rows = zip(ordered.sender_id.tolist(), ordered.receiver_id.tolist(),
+                   ordered.value.tolist(), ordered.gas_price.tolist(),
+                   ordered.gas_used.tolist(), ordered.timestamp.tolist(),
+                   ordered.is_contract_call.tolist())
         blocks: list[Block] = []
         current: list[Transaction] = []
         block_number = 0
-        for i, (sender, receiver, value, gas_price, gas_used, ts, is_call) in enumerate(raw_txs):
+        for i, (sender, receiver, value, gas_price, gas_used, ts, is_call) in \
+                enumerate(rows):
             submitted = rng.random() >= cfg.unsubmitted_fraction
             tx = Transaction(
                 tx_hash=f"0x{i:064x}",
-                sender=sender,
-                receiver=receiver,
+                sender=address(sender),
+                receiver=address(receiver),
                 value=round(float(value), 8),
                 gas_price=round(float(gas_price), 4),
                 gas_used=int(gas_used),

@@ -9,7 +9,13 @@ __all__ = ["AccountCategory", "LabelCloud"]
 
 
 class AccountCategory(str, enum.Enum):
-    """The six labelled account categories evaluated in the paper (Table II)."""
+    """The labelled account categories.
+
+    The first six are the paper's evaluated categories (Table II); the last
+    three are additional attack families synthesized by the scenario engine
+    (``repro.chain.scenarios``) to widen the classification workload beyond
+    the paper's bridge/DeFi extension.
+    """
 
     EXCHANGE = "exchange"
     ICO_WALLET = "ico-wallet"
@@ -17,6 +23,9 @@ class AccountCategory(str, enum.Enum):
     PHISH_HACK = "phish/hack"
     BRIDGE = "bridge"
     DEFI = "defi"
+    WASH_TRADING = "wash-trading"
+    AIRDROP_FARMING = "airdrop-farming"
+    MIXER = "mixer"
 
     @classmethod
     def core_four(cls) -> list["AccountCategory"]:
@@ -27,6 +36,16 @@ class AccountCategory(str, enum.Enum):
     def novel_two(cls) -> list["AccountCategory"]:
         """The two novel categories used for the RQ4 robustness study."""
         return [cls.BRIDGE, cls.DEFI]
+
+    @classmethod
+    def seed_six(cls) -> list["AccountCategory"]:
+        """The paper's six evaluated categories (Table II)."""
+        return cls.core_four() + cls.novel_two()
+
+    @classmethod
+    def attack_families(cls) -> list["AccountCategory"]:
+        """The post-paper attack families added by the scenario engine."""
+        return [cls.WASH_TRADING, cls.AIRDROP_FARMING, cls.MIXER]
 
 
 class LabelCloud:

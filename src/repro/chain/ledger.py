@@ -176,7 +176,8 @@ class Ledger:
         self._block_timestamps.append(block.timestamp)
         self._block_bounds.append((start, self._store.num_rows))
 
-    def append_blocks_columnar(self, senders: Sequence[str], receivers: Sequence[str],
+    def append_blocks_columnar(self, senders: "Sequence[str] | np.ndarray",
+                               receivers: "Sequence[str] | np.ndarray",
                                values: np.ndarray, gas_prices: np.ndarray,
                                gas_used: np.ndarray, timestamps: np.ndarray,
                                is_contract_call: np.ndarray, submitted: np.ndarray,
@@ -190,13 +191,28 @@ class Ledger:
         last registered block — exactly the semantics of the object-path
         assembly loop.  ``tx_hashes=None`` keeps the generator's derived
         ``0x{row:064x}`` hashes without per-row storage.
+
+        ``senders``/``receivers`` are either address strings (interned here,
+        the historical path) or integer ndarrays of already-interned store
+        account ids (the scenario engine's zero-Python-object path; validated
+        against the store's address table).
         """
         n = len(values)
         if n == 0:
             return
         if transactions_per_block < 1:
             raise ValueError("transactions_per_block must be >= 1")
-        sender_ids, receiver_ids = self._store.intern_pairs(senders, receivers)
+        if (isinstance(senders, np.ndarray) and senders.dtype.kind in "iu"):
+            sender_ids = np.ascontiguousarray(senders, dtype=np.int64)
+            receiver_ids = np.ascontiguousarray(receivers, dtype=np.int64)
+            if len(sender_ids) and (
+                    min(sender_ids.min(), receiver_ids.min()) < 0
+                    or max(sender_ids.max(), receiver_ids.max())
+                    >= self._store.num_addresses):
+                raise ValueError(
+                    "pre-interned sender/receiver ids out of range for store")
+        else:
+            sender_ids, receiver_ids = self._store.intern_pairs(senders, receivers)
         next_number = self._block_numbers[-1] + 1 if self._block_numbers else 0
         start_row = self._store.num_rows
         num_blocks = (n + transactions_per_block - 1) // transactions_per_block

@@ -1,0 +1,59 @@
+"""Scenario synthesis engine: vectorised, pluggable behaviour families.
+
+Importing this package populates the scenario registry with the six seed
+families (``repro.chain.scenarios.seed``) and the three additional attack
+families (``repro.chain.scenarios.families``).  See ``base`` for the
+:class:`Scenario` contract and :class:`RawTxBlock` columnar layout.
+"""
+
+from repro.chain.scenarios.base import (
+    CONTRACT_GAS,
+    TRANSFER_GAS,
+    RawTxBlock,
+    Scenario,
+    ScenarioCheckError,
+    ScenarioEnvelope,
+    draw_from_pool,
+    register_scenario,
+    registered_scenarios,
+    scenario_for,
+    segment_arange,
+)
+from repro.chain.scenarios.seed import (
+    BridgeScenario,
+    DefiScenario,
+    ExchangeScenario,
+    IcoWalletScenario,
+    MiningScenario,
+    PhishHackScenario,
+)
+from repro.chain.scenarios.families import (
+    MIXER_DENOMINATIONS,
+    AirdropFarmingScenario,
+    MixerScenario,
+    WashTradingScenario,
+)
+
+__all__ = [
+    "CONTRACT_GAS",
+    "TRANSFER_GAS",
+    "RawTxBlock",
+    "Scenario",
+    "ScenarioCheckError",
+    "ScenarioEnvelope",
+    "draw_from_pool",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario_for",
+    "segment_arange",
+    "ExchangeScenario",
+    "IcoWalletScenario",
+    "MiningScenario",
+    "PhishHackScenario",
+    "BridgeScenario",
+    "DefiScenario",
+    "WashTradingScenario",
+    "AirdropFarmingScenario",
+    "MixerScenario",
+    "MIXER_DENOMINATIONS",
+]

@@ -1,0 +1,181 @@
+"""New labelled attack families beyond the paper's six seed categories.
+
+Three additional behaviour archetypes that the scenario engine synthesizes at
+scale — each a new :class:`AccountCategory` flowing through labelcloud →
+feature extraction → classification unchanged:
+
+* **wash-trading** — an exchange-style trader ping-pongs near-identical
+  amounts with a tiny clique of sybil accounts all window long: high tx
+  count, very low counterparty degree, tight value dispersion and near-zero
+  net flow — the opposite corner of the degree/value space from a real
+  exchange hub.
+* **airdrop-farming** — a farmer's collector address receives a dense burst
+  of near-identical small claim-sized transfers from dozens of one-shot
+  sybil wallets right after an airdrop snapshot, then consolidates in a few
+  sends.  Distinguishable from an ICO crowd-sale by the near-constant values,
+  the tighter window and the low gas prices.
+* **mixer** — a mixing pool (contract) takes fixed-denomination deposits
+  ({0.1, 1, 10} ETH) and pays the same denomination minus a fee out to
+  *different* accounts hours-to-days later: balanced bidirectional
+  contract-call flow with a discrete value spectrum and long in/out lags —
+  unlike a bridge, whose releases match lognormal lock values within minutes
+  and land on a couple of relay contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chain.labelcloud import AccountCategory
+from repro.chain.scenarios.base import (
+    CONTRACT_GAS,
+    TRANSFER_GAS,
+    RawTxBlock,
+    Scenario,
+    ScenarioEnvelope,
+    draw_from_pool,
+    register_scenario,
+)
+from repro.chain.scenarios.seed import _block
+
+__all__ = ["WashTradingScenario", "AirdropFarmingScenario", "MixerScenario"]
+
+#: The mixer's fixed deposit denominations (ETH).
+MIXER_DENOMINATIONS = np.array([0.1, 1.0, 10.0])
+
+
+@register_scenario
+class WashTradingScenario(Scenario):
+    """Round-trip trades with a small sybil clique, near-zero net flow."""
+
+    category = AccountCategory.WASH_TRADING
+
+    def synthesize(self, centers, users, contracts, rng, start, span):
+        n_centers = len(centers)
+        if n_centers == 0 or len(users) == 0:
+            return RawTxBlock.empty()
+        n_sybils = np.minimum(rng.integers(3, 7, size=n_centers), len(users))
+        clique = draw_from_pool(rng, users, int(n_sybils.sum()))
+        clique_start = np.cumsum(n_sybils) - n_sybils
+
+        n_rounds = rng.integers(20, 40, size=n_centers)
+        total = int(n_rounds.sum())
+        pick = np.floor(rng.random(total)
+                        * np.repeat(n_sybils, n_rounds)).astype(np.int64)
+        sybil = clique[np.repeat(clique_start, n_rounds) + pick]
+        center_per_row = np.repeat(centers, n_rounds)
+
+        t_out = start + rng.uniform(0.0, span, size=total)
+        values = rng.lognormal(mean=1.2, sigma=0.25, size=total)
+        gas = rng.uniform(25, 45, size=total)
+        leg_out = _block(center_per_row, sybil, values, gas, TRANSFER_GAS,
+                         t_out, False)
+        # The sybil returns almost exactly the same amount minutes later.
+        leg_back = _block(sybil, center_per_row,
+                          values * rng.uniform(0.995, 1.005, size=total),
+                          rng.uniform(25, 45, size=total), TRANSFER_GAS,
+                          t_out + rng.uniform(30.0, 600.0, size=total), False)
+        return RawTxBlock.concat([leg_out, leg_back])
+
+    def envelope(self):
+        return ScenarioEnvelope(
+            txs_per_center=(40, 78),
+            in_fraction=(0.45, 0.55),
+            contract_call_fraction=(0.0, 0.01),
+            mean_distinct_counterparties=(1, 7),
+            in_value_cv=(0.05, 0.45),
+            span_fraction=(0.7, 1.0),
+            net_flow_imbalance=(0.0, 0.05),
+        )
+
+
+@register_scenario
+class AirdropFarmingScenario(Scenario):
+    """Sybil wallets funnel near-identical airdrop claims into one collector."""
+
+    category = AccountCategory.AIRDROP_FARMING
+
+    def synthesize(self, centers, users, contracts, rng, start, span):
+        n_centers = len(centers)
+        if n_centers == 0 or len(users) == 0:
+            return RawTxBlock.empty()
+        claim_day = start + rng.uniform(0.1, 0.9, size=n_centers) * span
+        claim_size = rng.uniform(0.05, 0.2, size=n_centers)
+
+        n_sybils = rng.integers(40, 80, size=n_centers)
+        total = int(n_sybils.sum())
+        sybils = draw_from_pool(rng, users, total)
+        values = (np.repeat(claim_size, n_sybils)
+                  * rng.uniform(0.9, 1.0, size=total))
+        claims = _block(
+            sybils, np.repeat(centers, n_sybils), values,
+            rng.uniform(10, 30, size=total), TRANSFER_GAS,
+            np.repeat(claim_day, n_sybils)
+            + rng.uniform(0.0, span * 0.02, size=total), False)
+
+        collected = np.bincount(np.repeat(np.arange(n_centers), n_sybils),
+                                weights=values, minlength=n_centers)
+        n_out = rng.integers(1, 3, size=n_centers)
+        o_total = int(n_out.sum())
+        sinks = draw_from_pool(rng, users, o_total)
+        consolidation = _block(
+            np.repeat(centers, n_out), sinks,
+            np.repeat(collected * 0.99 / n_out, n_out),
+            rng.uniform(10, 30, size=o_total), TRANSFER_GAS,
+            np.repeat(claim_day + span * 0.02, n_out)
+            + rng.uniform(0.0, span * 0.05, size=o_total), False)
+        return RawTxBlock.concat([claims, consolidation])
+
+    def envelope(self):
+        return ScenarioEnvelope(
+            txs_per_center=(41, 82),
+            in_fraction=(0.92, 0.99),
+            contract_call_fraction=(0.0, 0.01),
+            mean_distinct_counterparties=(20, 82),
+            in_value_cv=(0.0, 0.08),
+            span_fraction=(0.01, 0.1),
+        )
+
+
+@register_scenario
+class MixerScenario(Scenario):
+    """Fixed-denomination deposits paid back out to different accounts, delayed."""
+
+    category = AccountCategory.MIXER
+
+    def is_contract_center(self, index: int) -> bool:
+        return True                         # the pool itself is a contract
+
+    def synthesize(self, centers, users, contracts, rng, start, span):
+        n_centers = len(centers)
+        if n_centers == 0 or len(users) == 0:
+            return RawTxBlock.empty()
+        n_deposits = rng.integers(30, 60, size=n_centers)
+        total = int(n_deposits.sum())
+        depositors = draw_from_pool(rng, users, total)
+        center_per_row = np.repeat(centers, n_deposits)
+        denom = MIXER_DENOMINATIONS[rng.integers(0, len(MIXER_DENOMINATIONS),
+                                                 size=total)]
+        t_in = start + rng.uniform(0.0, span * 0.9, size=total)
+        deposits = _block(depositors, center_per_row, denom,
+                          rng.uniform(20, 50, size=total), CONTRACT_GAS,
+                          t_in, True)
+        # Each deposit is matched by one withdrawal of the same denomination
+        # minus the pool fee, to a (generally different) account, after an
+        # anonymity-set delay of up to 8% of the window.
+        withdrawals = _block(
+            center_per_row, draw_from_pool(rng, users, total),
+            denom * 0.997,
+            rng.uniform(20, 50, size=total), CONTRACT_GAS,
+            t_in + span * rng.uniform(0.001, 0.08, size=total), True)
+        return RawTxBlock.concat([deposits, withdrawals])
+
+    def envelope(self):
+        return ScenarioEnvelope(
+            txs_per_center=(60, 118),
+            in_fraction=(0.45, 0.55),
+            contract_call_fraction=(0.99, 1.0),
+            mean_distinct_counterparties=(25, 125),
+            span_fraction=(0.7, 1.0),
+            net_flow_imbalance=(0.0, 0.05),
+        )

@@ -6,14 +6,18 @@ import pytest
 from repro.chain import AccountCategory, LedgerConfig, LedgerGenerator, generate_ledger
 from repro.chain.behaviors import (
     BEHAVIORS,
+    airdrop_farming_behavior,
     behavior_for,
     bridge_behavior,
     defi_behavior,
     exchange_behavior,
     ico_wallet_behavior,
     mining_behavior,
+    mixer_behavior,
     phish_hack_behavior,
+    wash_trading_behavior,
 )
+from repro.chain.scenarios import MIXER_DENOMINATIONS
 
 
 @pytest.fixture()
@@ -81,6 +85,34 @@ class TestBehaviors:
         counterparties = {t[0] for t in txs} | {t[1] for t in txs}
         assert counterparties - {"0xdefi"} <= set(contracts)
 
+    def test_wash_trading_round_trips_balance(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = wash_trading_behavior("0xwash", users, contracts, rng, start, span)
+        inflow = sum(t[2] for t in txs if t[1] == "0xwash")
+        outflow = sum(t[2] for t in txs if t[0] == "0xwash")
+        assert abs(inflow - outflow) / max(inflow, outflow) < 0.05
+        clique = ({t[0] for t in txs} | {t[1] for t in txs}) - {"0xwash"}
+        assert len(clique) <= 6
+
+    def test_airdrop_claims_are_near_identical_and_bursty(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = airdrop_farming_behavior("0xfarm", users, contracts, rng, start, span)
+        claims = [t for t in txs if t[1] == "0xfarm"]
+        values = [t[2] for t in claims]
+        assert len(claims) >= 40
+        assert np.std(values) / np.mean(values) < 0.1
+        times = [t[5] for t in txs]
+        assert (max(times) - min(times)) < span * 0.1
+
+    def test_mixer_uses_fixed_denominations(self, behavior_env):
+        users, contracts, rng, start, span = behavior_env
+        txs = mixer_behavior("0xmix", users, contracts, rng, start, span)
+        assert all(t[6] for t in txs)
+        deposits = {t[2] for t in txs if t[1] == "0xmix"}
+        assert deposits <= set(MIXER_DENOMINATIONS.tolist())
+        withdrawals = [t for t in txs if t[0] == "0xmix"]
+        assert len(withdrawals) == len(txs) - len(withdrawals)
+
 
 class TestLedgerConfig:
     def test_scaled_reduces_counts(self):
@@ -91,6 +123,24 @@ class TestLedgerConfig:
     def test_scaled_keeps_minimum_of_two(self):
         config = LedgerConfig().scaled(0.0001)
         assert all(v >= 2 for v in config.labeled_per_category.values())
+
+    def test_with_scenarios_restricts_categories(self):
+        config = LedgerConfig().with_scenarios(["exchange", "mixer"])
+        assert set(config.labeled_per_category) == \
+            {AccountCategory.EXCHANGE, AccountCategory.MIXER}
+        ledger = LedgerGenerator(config.scaled(0.2)).generate()
+        assert set(ledger.labels.counts()) == \
+            {AccountCategory.EXCHANGE, AccountCategory.MIXER}
+
+    def test_with_scenarios_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LedgerConfig().with_scenarios([])
+
+    def test_validate_scenarios_passes_at_default_scale(self):
+        config = LedgerConfig()
+        config.validate_scenarios = True
+        ledger = LedgerGenerator(config).generate()
+        assert ledger.num_transactions > 0
 
 
 class TestColumnarObjectParity:

@@ -91,10 +91,10 @@ class TestTasks:
         b = small_dataset.binary_task("defi", rng=np.random.default_rng(3))
         assert [s.center for s in a[0]] == [s.center for s in b[0]]
 
-    def test_multiclass_task_covers_six_categories(self, small_dataset):
+    def test_multiclass_task_covers_all_categories(self, small_dataset):
         _samples, labels, classes = small_dataset.multiclass_task()
-        assert len(classes) == 6
-        assert set(labels) == set(range(6))
+        assert len(classes) == len(AccountCategory)
+        assert set(labels) == set(range(len(AccountCategory)))
 
     def test_statistics_structure(self, small_dataset):
         stats = small_dataset.statistics()
