@@ -45,8 +45,9 @@ from repro.graph.centrality import eigenvector_centrality, pagerank_centrality
 from repro.graph.sampling import ego_subgraph
 from repro.graph.txgraph import Edge, TxGraph
 
-#: Transactions generated by LedgerConfig at scale 1.0 with seed 7 (measured).
-_TXS_PER_UNIT_SCALE = 6087.0
+#: Transactions generated per unit of LedgerConfig scale with seed 7
+#: (measured on the nine-scenario engine at scale 100).
+_TXS_PER_UNIT_SCALE = 8316.0
 
 DEFAULT_SCALES = (1_000, 10_000, 100_000, 1_000_000)
 DEFAULT_BUILD_ONLY_ABOVE = 150_000

