@@ -31,13 +31,14 @@ import tempfile
 
 from repro import DeAnonymizer, LedgerConfig, generate_ledger
 from repro.chain import AccountCategory
-from repro.data import DatasetConfig, train_test_split
+from repro.data import DatasetConfig, SubgraphDatasetBuilder, train_test_split
 from repro.experiments.runner import fast_dbg4eth_config
 from repro.metrics import classification_report
 
 
 def main(scale: float = 0.4, scenarios: list[str] | None = None,
-         category: str = "exchange") -> None:
+         category: str = "exchange", batch_size: int = 1,
+         build_workers: int = 1) -> None:
     print("1. Generating a synthetic Ethereum ledger ...")
     config = LedgerConfig()
     if scenarios:
@@ -51,10 +52,20 @@ def main(scale: float = 0.4, scenarios: list[str] | None = None,
           f"{summary['num_labeled']} labelled accounts")
 
     print("2. Constructing the DeAnonymizer facade (2-hop, top-K sampling) ...")
-    deanon = DeAnonymizer(ledger,
-                          dataset_config=DatasetConfig(top_k=60, max_nodes_per_subgraph=50),
-                          model_config=lambda: fast_dbg4eth_config(epochs=8))
-    dataset = deanon.dataset
+    dataset_config = DatasetConfig(top_k=60, max_nodes_per_subgraph=50)
+    model_config = lambda: fast_dbg4eth_config(epochs=8, batch_size=batch_size)
+    if build_workers > 1:
+        print(f"   building the dataset with {build_workers} worker threads "
+              "(bit-identical to sequential)")
+        builder = SubgraphDatasetBuilder(ledger, dataset_config)
+        dataset = builder.build(workers=build_workers, mode="thread")
+        deanon = DeAnonymizer.from_dataset(dataset, ledger=ledger,
+                                           dataset_config=dataset_config,
+                                           model_config=model_config)
+    else:
+        deanon = DeAnonymizer(ledger, dataset_config=dataset_config,
+                              model_config=model_config)
+        dataset = deanon.dataset
     print(f"   {len(dataset)} subgraph samples across categories {dataset.categories()}")
 
     print(f"3. Training the {category!r} one-vs-rest head on a 70% split ...")
@@ -96,5 +107,14 @@ if __name__ == "__main__":
                              "(default: all nine)")
     parser.add_argument("--category", default="exchange",
                         help="which one-vs-rest head to train (default: exchange)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="training minibatch size for both branches; >1 "
+                             "forwards each minibatch as one block-diagonal "
+                             "sparse pass (default: 1, the per-sample loop)")
+    parser.add_argument("--build-workers", type=int, default=1,
+                        help="thread workers for the dataset build; the "
+                             "parallel build is bit-identical to the "
+                             "sequential one (default: 1)")
     args = parser.parse_args()
-    main(args.scale, scenarios=args.scenarios, category=args.category)
+    main(args.scale, scenarios=args.scenarios, category=args.category,
+         batch_size=args.batch_size, build_workers=args.build_workers)

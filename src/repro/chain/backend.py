@@ -216,17 +216,19 @@ class LedgerBackend:
                       blocks.tobytes())
         manifest["num_blocks"] = ledger.num_blocks
 
-        accounts = ledger.accounts
-        new_accounts = accounts[manifest["num_accounts"]:]
+        # Records, not Account objects: bulk-registered placeholders persist
+        # without ever being materialised.
+        records = list(ledger.account_records())
+        new_records = records[manifest["num_accounts"]:]
         account_lines = "".join(
-            json.dumps({"address": a.address, "type": a.account_type.value,
-                        "balance": a.balance, "nonce": a.nonce},
+            json.dumps({"address": address, "type": type_value,
+                        "balance": balance, "nonce": nonce},
                        separators=(",", ":")) + "\n"
-            for a in new_accounts).encode("utf-8")
+            for address, type_value, balance, nonce in new_records).encode("utf-8")
         _append_bytes(self.path / "accounts.jsonl", manifest["accounts_bytes"],
                       account_lines)
         manifest["accounts_bytes"] += len(account_lines)
-        manifest["num_accounts"] = len(accounts)
+        manifest["num_accounts"] = len(records)
 
         labels = list(ledger.labels.items())
         new_labels = labels[manifest["num_labels"]:]

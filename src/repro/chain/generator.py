@@ -16,7 +16,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.chain.accounts import Account, AccountType, make_address
+from repro.chain.accounts import Account, AccountType, make_address, make_addresses
 from repro.chain.labelcloud import AccountCategory
 from repro.chain.ledger import Ledger
 from repro.chain.scenarios import RawTxBlock, scenario_for
@@ -156,19 +156,13 @@ class LedgerGenerator:
 
     # ------------------------------------------------------------------ helpers
     def _create_background_accounts(self, ledger: Ledger) -> list[str]:
-        addresses = []
-        for i in range(self.config.num_background_users):
-            address = make_address(i, prefix="u")
-            ledger.add_account(Account(address, AccountType.EOA))
-            addresses.append(address)
+        addresses = make_addresses(self.config.num_background_users, prefix="u")
+        ledger.add_accounts_bulk(addresses, AccountType.EOA)
         return addresses
 
     def _create_contract_accounts(self, ledger: Ledger) -> list[str]:
-        addresses = []
-        for i in range(self.config.num_contracts):
-            address = make_address(i, prefix="c")
-            ledger.add_account(Account(address, AccountType.CONTRACT))
-            addresses.append(address)
+        addresses = make_addresses(self.config.num_contracts, prefix="c")
+        ledger.add_accounts_bulk(addresses, AccountType.CONTRACT)
         return addresses
 
     def _create_labeled_accounts(self, ledger: Ledger) -> list[tuple[str, AccountCategory]]:

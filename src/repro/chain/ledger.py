@@ -70,21 +70,50 @@ class Ledger:
         self._lock = threading.Lock()
 
     # --------------------------------------------------------------- accounts
+    #
+    # The registry maps address -> Account, or address -> AccountType for
+    # accounts registered through the bulk path: a placeholder records only
+    # the kind, and the full (default-balance, zero-nonce) Account object is
+    # materialised lazily on first object-level access.  Nothing in the
+    # synthesis or de-anonymization pipeline mutates balances/nonces, so the
+    # lazy object is indistinguishable from an eagerly created one.
     def add_account(self, account: Account) -> Account:
         if account.address in self._accounts:
             raise ValueError(f"duplicate account address {account.address}")
         self._accounts[account.address] = account
         return account
 
+    def add_accounts_bulk(self, addresses: "Sequence[str]",
+                          account_type: AccountType) -> None:
+        """Register many same-type accounts without creating Account objects.
+
+        All-or-nothing on duplicates (within the batch or against the
+        registry), matching :meth:`add_account`'s refusal semantics.
+        """
+        new = dict.fromkeys(addresses, account_type)
+        if len(new) != len(addresses):
+            raise ValueError("duplicate account address within bulk batch")
+        if self._accounts and not self._accounts.keys().isdisjoint(new):
+            clash = next(iter(self._accounts.keys() & new.keys()))
+            raise ValueError(f"duplicate account address {clash}")
+        self._accounts.update(new)
+
     def get_account(self, address: str) -> Account:
-        return self._accounts[address]
+        account = self._accounts[address]
+        if not isinstance(account, Account):
+            account = Account(address, account)
+            self._accounts[address] = account
+        return account
 
     def has_account(self, address: str) -> bool:
         return address in self._accounts
 
     def is_contract(self, address: str) -> bool:
-        account = self._accounts.get(address)
-        return account is not None and account.account_type is AccountType.CONTRACT
+        entry = self._accounts.get(address)
+        if entry is None:
+            return False
+        kind = entry.account_type if isinstance(entry, Account) else entry
+        return kind is AccountType.CONTRACT
 
     def contract_address_set(self) -> frozenset:
         """Addresses of registered contract accounts, as one frozenset.
@@ -98,15 +127,31 @@ class Ledger:
                 if (self._contract_set is None
                         or self._contract_set_accounts != len(self._accounts)):
                     contract_set = frozenset(
-                        address for address, account in self._accounts.items()
-                        if account.account_type is AccountType.CONTRACT)
+                        address for address, entry in self._accounts.items()
+                        if (entry.account_type if isinstance(entry, Account)
+                            else entry) is AccountType.CONTRACT)
                     self._contract_set = contract_set
                     self._contract_set_accounts = len(self._accounts)
         return self._contract_set
 
     @property
     def accounts(self) -> list[Account]:
-        return list(self._accounts.values())
+        """All accounts as objects (materialises bulk-registered placeholders)."""
+        return [self.get_account(address) for address in list(self._accounts)]
+
+    def account_records(self) -> Iterator[tuple[str, str, float, int]]:
+        """``(address, type, balance, nonce)`` rows in registration order.
+
+        The persistence path's view of the registry: placeholders yield their
+        default balance/nonce directly, so syncing a bulk-registered ledger
+        never materialises Account objects.
+        """
+        for address, entry in self._accounts.items():
+            if isinstance(entry, Account):
+                yield (address, entry.account_type.value, entry.balance,
+                       entry.nonce)
+            else:
+                yield (address, entry.value, 0.0, 0)
 
     @property
     def num_accounts(self) -> int:
@@ -285,7 +330,10 @@ class Ledger:
 
     def summary(self) -> dict:
         """Aggregate statistics used by examples and the dataset-stats bench."""
-        contract_count = sum(1 for a in self._accounts.values() if a.is_contract)
+        contract_count = sum(
+            1 for entry in self._accounts.values()
+            if (entry.account_type if isinstance(entry, Account)
+                else entry) is AccountType.CONTRACT)
         return {
             "num_accounts": self.num_accounts,
             "num_contracts": contract_count,

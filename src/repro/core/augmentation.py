@@ -150,21 +150,40 @@ def _augment_sparse(adjacency: SparseAdjacency, config: AugmentationConfig,
     ``adjacency > 0`` mask, each slot is dropped independently, and a symmetric
     input is re-symmetrised with ``max(A, A.T)`` — so, like the dense path, an
     undirected edge survives unless *both* of its directed slots are dropped.
+
+    Everything deterministic per ``(adjacency, config)`` — the positive-slot
+    mask, the centrality-scaled drop probabilities, the symmetry check and the
+    ``max(A, A.T)`` sort plan — is memoized on the adjacency instance, so the
+    per-draw cost of the contrastive loop is just the RNG vector, the value
+    copy and the replayed reductions.
     """
-    edge_mask = adjacency.data > 0
-    if config.edge_drop_prob <= 0.0 or not edge_mask.any():
+    if config.edge_drop_prob <= 0.0:
         return adjacency
-    node_scores = _node_centrality_sparse(adjacency.binarized(),
-                                          config.centrality_measure)
-    scores = 0.5 * (node_scores[adjacency.rows] + node_scores[adjacency.indices])
-    dropped = _drop_mask(scores[edge_mask], config.edge_drop_prob, rng)
+    edge_mask = adjacency._memoized("aug_edge_mask", lambda: adjacency.data > 0)
+    if not edge_mask.any():
+        return adjacency
+
+    def build_probs():
+        node_scores = _node_centrality_sparse(adjacency.binarized(),
+                                              config.centrality_measure)
+        scores = 0.5 * (node_scores[adjacency.rows]
+                        + node_scores[adjacency.indices])[edge_mask]
+        inverse = scores.max() - scores + 1e-9
+        return np.clip(inverse / inverse.mean() * config.edge_drop_prob,
+                       0.0, 0.95)
+
+    drop_probs = adjacency._memoized(
+        ("aug_drop_probs", config.centrality_measure, config.edge_drop_prob),
+        build_probs)
+    dropped = rng.random(len(drop_probs)) < drop_probs
     data = adjacency.data.copy()
     kept_values = data[edge_mask]
     kept_values[dropped] = 0.0
     data[edge_mask] = kept_values
-    augmented = SparseAdjacency(adjacency.indptr, adjacency.indices, data)
     if adjacency.is_symmetric():
-        augmented = augmented.symmetrized_max()
+        augmented = adjacency.symmetrized_max(data)
+    else:
+        augmented = SparseAdjacency(adjacency.indptr, adjacency.indices, data)
     return augmented.pruned()
 
 

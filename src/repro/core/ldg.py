@@ -10,7 +10,9 @@ from repro.data.dataset import AccountSubgraph
 from repro.gnn.layers import GCNLayer
 from repro.gnn.pooling import DiffPool
 from repro.gnn.recurrent import GRUCell
-from repro.nn import Adam, Linear, Module, Parameter, Tensor
+from repro.gnn.sparse_ops import segment_mean_batch
+from repro.graph.sparse import BatchedAdjacency, SparseAdjacency
+from repro.nn import Adam, Linear, Module, Parameter, Tensor, concat
 from repro.nn.losses import binary_cross_entropy_with_logits
 from repro.nn.functional import relu, softmax
 
@@ -24,6 +26,11 @@ class LDGConfig:
     ``num_slices`` is the paper's ``T`` (10 by default); ``pooling_layers`` is
     the DiffPool depth studied in Figure 9(b) (2 by default, with pooling rates
     0.1 then collapse-to-one).
+
+    ``batch_size`` selects the training granularity: 1 (the default) keeps the
+    legacy one-subgraph-per-optimizer-step loop bit-for-bit; larger values
+    train on minibatches whose time slices are stacked block-diagonally per
+    slice index and forwarded as ``num_slices`` batched sparse passes.
     """
 
     hidden_dim: int = 32
@@ -31,6 +38,7 @@ class LDGConfig:
     pooling_layers: int = 2
     first_pool_clusters: int = 10
     epochs: int = 20
+    batch_size: int = 1
     learning_rate: float = 0.01
     seed: int = 0
 
@@ -93,6 +101,41 @@ class _LDGNetwork(Module):
             representation = weighted if representation is None else representation + weighted
         return self.head(relu(representation))            # Eq. 23
 
+    def slice_representations_batched(self, features: np.ndarray,
+                                      slices) -> list[Tensor]:
+        """Batched ``h^pool_t``: one ``(B, hidden)`` tensor per time slice.
+
+        ``features`` is the per-sample node-feature matrices stacked
+        vertically; ``slices`` is a length-``T`` sequence of
+        :class:`~repro.graph.sparse.BatchedAdjacency` — slice ``t`` of every
+        sample stacked block-diagonally (all ``T`` share the batch's node
+        offsets, since slicing partitions edges, not nodes).  GCN and GRU are
+        block-/row-local so they run unchanged on the stack; DiffPool and the
+        final mean read-out reduce per segment.
+        """
+        projected = relu(self.input_proj(Tensor(features)))
+        hidden = projected
+        pooled_per_slice: list[Tensor] = []
+        for adjacency in slices:
+            topo = self.gcn(hidden, adjacency)            # Eq. 14
+            hidden = self.gru(topo, hidden)               # Eq. 15-18
+            pooled, pooled_adj = hidden, adjacency
+            for pool in self.pools:
+                pooled, pooled_adj, _assign = pool.forward_batched(pooled, pooled_adj)
+            pooled_per_slice.append(
+                segment_mean_batch(pooled, pooled_adj.node_offsets))
+        return pooled_per_slice
+
+    def forward_batched(self, features: np.ndarray, slices) -> Tensor:
+        """``(B, 1)`` logits for a block-diagonal minibatch."""
+        pooled_per_slice = self.slice_representations_batched(features, slices)
+        weights = softmax(self.slice_logits.reshape(1, -1), axis=1)
+        representation = None
+        for t, pooled in enumerate(pooled_per_slice):
+            weighted = pooled * weights[0, t].reshape(1, 1)
+            representation = weighted if representation is None else representation + weighted
+        return self.head(relu(representation))            # Eq. 23
+
 
 class LDGBranch:
     """Train/evaluate the local dynamic graph encoder on subgraph samples."""
@@ -101,6 +144,9 @@ class LDGBranch:
         self.config = config or LDGConfig()
         self._network: _LDGNetwork | None = None
         self._feature_stats: tuple[np.ndarray, np.ndarray] | None = None
+        # Parity escape hatch — see GSGBranch: with batch_size > 1 and this
+        # flag off, the same minibatch schedule runs with per-sample forwards.
+        self._batched_kernel = True
 
     def _prepare(self, sample: AccountSubgraph):
         mean, std = self._feature_stats
@@ -109,6 +155,28 @@ class LDGBranch:
         slices = sample.time_slices(self.config.num_slices, weighted=False,
                                     sparse=True)
         return features, slices
+
+    def _prepare_batch(self, samples: list[AccountSubgraph]):
+        """Stack a minibatch: features vertically, slice ``t`` across samples.
+
+        Each stacked slice seeds its GCN normalisation from the per-sample
+        memoized ones, so repeated epochs never re-derive them.
+        """
+        prepared = [self._prepare(s) for s in samples]
+        features = np.vstack([p[0] for p in prepared])
+        slices = [SparseAdjacency.block_diagonal(
+            [p[1][t] for p in prepared], derived=("gcn_normalized",),
+            compose_plans=True)
+            for t in range(self.config.num_slices)]
+        return features, slices
+
+    def _minibatch_logits(self, batch: list[AccountSubgraph]) -> Tensor:
+        """``(len(batch),)`` logits — stacked kernel or looped reference."""
+        if self._batched_kernel:
+            features, slices = self._prepare_batch(batch)
+            return self._network.forward_batched(features, slices).reshape(len(batch))
+        return concat([self._network(*self._prepare(s)).reshape(1)
+                       for s in batch], axis=0)
 
     def _fit_feature_stats(self, samples: list[AccountSubgraph]) -> None:
         stacked = np.vstack([s.node_features for s in samples])
@@ -128,21 +196,57 @@ class LDGBranch:
         optimizer = Adam(self._network.parameters(), lr=cfg.learning_rate)
         labels = np.asarray(labels, dtype=float)
         indices = np.arange(len(samples))
-        for _epoch in range(cfg.epochs):
+        batch_size = max(1, cfg.batch_size)
+        if batch_size > 1:
+            # Minibatch compositions are fixed by one seeded shuffle; epochs
+            # re-shuffle only the visit order, so each minibatch's per-slice
+            # stacks (and their composed GCN normalisations / transpose plans)
+            # are built once per fit and reused every epoch.
             rng.shuffle(indices)
-            for idx in indices:
-                features, slices = self._prepare(samples[idx])
-                optimizer.zero_grad()
-                logit = self._network(features, slices)
-                loss = binary_cross_entropy_with_logits(logit.reshape(1), [labels[idx]])
-                loss.backward()
-                optimizer.step()
+            chunks = [indices[start:start + batch_size]
+                      for start in range(0, len(indices), batch_size)]
+            batches = [[samples[i] for i in chunk] for chunk in chunks]
+            stacks = [self._prepare_batch(batch) for batch in batches] \
+                if self._batched_kernel else None
+            order = np.arange(len(chunks))
+        for _epoch in range(cfg.epochs):
+            if batch_size == 1:
+                # Legacy per-sample-step loop, bit-for-bit.
+                rng.shuffle(indices)
+                for idx in indices:
+                    features, slices = self._prepare(samples[idx])
+                    optimizer.zero_grad()
+                    logit = self._network(features, slices)
+                    loss = binary_cross_entropy_with_logits(logit.reshape(1), [labels[idx]])
+                    loss.backward()
+                    optimizer.step()
+            else:
+                rng.shuffle(order)
+                for j in order:
+                    optimizer.zero_grad()
+                    if stacks is not None:
+                        logits = self._network.forward_batched(
+                            *stacks[j]).reshape(len(chunks[j]))
+                    else:
+                        logits = self._minibatch_logits(batches[j])
+                    loss = binary_cross_entropy_with_logits(logits, labels[chunks[j]])
+                    loss.backward()
+                    optimizer.step()
         return self
 
     def predict_scores(self, samples: list[AccountSubgraph]) -> np.ndarray:
         """Raw (uncalibrated) predicted values — the "local predicted value"."""
         if self._network is None:
             raise RuntimeError("LDGBranch has not been fitted")
+        batch_size = max(1, self.config.batch_size)
+        if batch_size > 1 and self._batched_kernel and len(samples) > 1:
+            scores = np.empty(len(samples), dtype=np.float64)
+            for start in range(0, len(samples), batch_size):
+                chunk = samples[start:start + batch_size]
+                features, slices = self._prepare_batch(chunk)
+                logits = self._network.forward_batched(features, slices)
+                scores[start:start + len(chunk)] = logits.data.ravel()
+            return scores
         scores = []
         for sample in samples:
             features, slices = self._prepare(sample)

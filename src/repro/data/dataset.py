@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import pickle
 import threading
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -165,6 +167,11 @@ class SubgraphDataset:
 
     def __init__(self, samples: list[AccountSubgraph]):
         self.samples = list(samples)
+        # Per-category sample-index arrays, built on first task access: the
+        # task helpers are called once per head (9 categories x repeated
+        # experiment sweeps), so the O(n) category scans are paid once instead
+        # of on every call.
+        self._category_indices: dict[str | None, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -175,9 +182,20 @@ class SubgraphDataset:
     def __iter__(self):
         return iter(self.samples)
 
+    def _category_index(self) -> dict[str | None, np.ndarray]:
+        """Map category (or ``None``) -> ascending sample-index array."""
+        if self._category_indices is None:
+            by_category: dict[str | None, list[int]] = {}
+            for i, sample in enumerate(self.samples):
+                by_category.setdefault(sample.category, []).append(i)
+            self._category_indices = {
+                category: np.array(idx, dtype=np.intp)
+                for category, idx in by_category.items()}
+        return self._category_indices
+
     def categories(self) -> list[str]:
         """Distinct non-null categories present in the dataset."""
-        return sorted({s.category for s in self.samples if s.category is not None})
+        return sorted(c for c in self._category_index() if c is not None)
 
     def binary_task(self, category: AccountCategory | str,
                     rng: np.random.Generator | None = None,
@@ -190,10 +208,15 @@ class SubgraphDataset:
         """
         category = AccountCategory(category).value
         rng = rng or np.random.default_rng(0)
-        positives = [s for s in self.samples if s.category == category]
-        others = [s for s in self.samples if s.category != category]
-        if not positives:
+        index = self._category_index()
+        pos_idx = index.get(category)
+        if pos_idx is None or len(pos_idx) == 0:
             raise ValueError(f"no samples with category {category!r}")
+        positives = [self.samples[i] for i in pos_idx]
+        # Ascending complement == the order the original linear scan produced.
+        others_idx = np.setdiff1d(np.arange(len(self.samples), dtype=np.intp),
+                                  pos_idx, assume_unique=True)
+        others = [self.samples[i] for i in others_idx]
         n_neg = min(len(others), len(positives))
         idx = rng.permutation(len(others))[:n_neg]
         negatives = [others[i] for i in idx]
@@ -204,18 +227,22 @@ class SubgraphDataset:
 
     def multiclass_task(self) -> tuple[list[AccountSubgraph], np.ndarray, list[str]]:
         """All labelled samples with integer class indices."""
-        labelled = [s for s in self.samples if s.category is not None]
-        classes = sorted({s.category for s in labelled})
+        index = self._category_index()
+        classes = self.categories()
+        labelled_idx = np.sort(np.concatenate(
+            [index[c] for c in classes])) if classes else np.array([], dtype=np.intp)
+        labelled = [self.samples[i] for i in labelled_idx]
         class_to_idx = {c: i for i, c in enumerate(classes)}
         labels = np.array([class_to_idx[s.category] for s in labelled])
         return labelled, labels, classes
 
     def statistics(self) -> dict[str, dict[str, float]]:
         """Per-category statistics mirroring Table II."""
+        index = self._category_index()
+        negatives_count = len(index.get(None, ()))
         stats: dict[str, dict[str, float]] = {}
         for category in self.categories():
-            positives = [s for s in self.samples if s.category == category]
-            negatives_count = sum(1 for s in self.samples if s.category is None)
+            positives = [self.samples[i] for i in index[category]]
             stats[category] = {
                 "num_positive": len(positives),
                 "num_graphs": len(positives) + min(negatives_count, len(positives)),
@@ -318,24 +345,68 @@ class SubgraphDatasetBuilder:
         with self._graph_lock:
             return graph.ingest(self.ledger)
 
-    def build(self) -> SubgraphDataset:
+    def build(self, workers: int | None = None,
+              mode: str = "thread") -> SubgraphDataset:
+        """Build the dataset, optionally fanning out across centre accounts.
+
+        The build has two phases with a strict contract between them: the
+        *task list* (which accounts to sample, in which order, with which
+        label) consumes all of the build's randomness up front, and
+        :meth:`build_sample` is a deterministic pure function of the frozen
+        builder state.  Sampling is therefore embarrassingly parallel —
+        ``workers > 1`` maps the task list over a thread or process pool
+        (``mode``) in task order, and the result is bit-identical to the
+        sequential build.
+
+        Thread workers share this builder's graph and feature table (warmed
+        first so no worker pays a build); process workers receive a pickled
+        warmed copy once per worker via the pool initializer — the scaling
+        path on multi-core machines.
+        """
+        tasks = self._build_tasks()
+        if workers is None or workers <= 1:
+            samples = [self.build_sample(address, category)
+                       for address, category in tasks]
+        elif mode == "thread":
+            self.warm()
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                samples = list(pool.map(
+                    lambda task: self.build_sample(*task), tasks))
+        elif mode == "process":
+            self.warm()
+            payload = pickle.dumps(self)
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker_builder,
+                    initargs=(payload,)) as pool:
+                samples = list(pool.map(_worker_build_sample, tasks,
+                                        chunksize=max(1, len(tasks) // (4 * workers))))
+        else:
+            raise ValueError(f"unknown build mode {mode!r} "
+                             "(expected 'thread' or 'process')")
+        return SubgraphDataset(samples)
+
+    def _build_tasks(self) -> list[tuple[str, str | None]]:
+        """The ``(address, category)`` sampling plan, in dataset order.
+
+        All RNG happens here (the negative-candidate shuffle), before any
+        sample is built — the ordering/randomness contract parallel builds
+        rely on.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         graph = self.graph
-        samples: list[AccountSubgraph] = []
         labelled_addresses = [addr for addr, _ in self.ledger.labels.items()
                               if graph.has_node(addr)]
-        for address in labelled_addresses:
-            category = self.ledger.labels.get(address)
-            samples.append(self.build_sample(address, category.value))
+        tasks: list[tuple[str, str | None]] = [
+            (address, self.ledger.labels.get(address).value)
+            for address in labelled_addresses]
         # Negative samples: unlabeled accounts with enough activity.
         n_negatives = int(round(len(labelled_addresses) * cfg.negatives_per_positive))
         candidates = [node for node in graph.nodes
                       if node not in self.ledger.labels and graph.degree(node) >= 2]
         rng.shuffle(candidates)
-        for address in candidates[:n_negatives]:
-            samples.append(self.build_sample(address, None))
-        return SubgraphDataset(samples)
+        tasks.extend((address, None) for address in candidates[:n_negatives])
+        return tasks
 
     def build_sample(self, address: str, category: str | None = None) -> AccountSubgraph:
         """Sample one account-centred subgraph (2-hop top-K ego + deep features)."""
@@ -364,3 +435,19 @@ class SubgraphDatasetBuilder:
                         key=lambda n: -degrees[sub.node_index(n)])
         keep = [center] + ranked[:max_nodes - 1]
         return sub.subgraph(keep)
+
+
+# Process-pool plumbing for :meth:`SubgraphDatasetBuilder.build`: each worker
+# unpickles the warmed builder once into a module global, then serves
+# ``build_sample`` calls from it (initargs are delivered before any task).
+_WORKER_BUILDER: SubgraphDatasetBuilder | None = None
+
+
+def _init_worker_builder(payload: bytes) -> None:
+    global _WORKER_BUILDER
+    _WORKER_BUILDER = pickle.loads(payload)
+
+
+def _worker_build_sample(task: tuple[str, str | None]) -> AccountSubgraph:
+    address, category = task
+    return _WORKER_BUILDER.build_sample(address, category)

@@ -37,16 +37,23 @@ __all__ = [
 _DBG4ETH_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(DBG4ETHConfig))
 
 
-def fast_dbg4eth_config(epochs: int = 8, **overrides) -> DBG4ETHConfig:
+def fast_dbg4eth_config(epochs: int = 8, batch_size: int = 1,
+                        **overrides) -> DBG4ETHConfig:
     """A laptop-fast DBG4ETH configuration used across the benchmark suite.
+
+    ``batch_size`` is forwarded to both branch configs: 1 keeps the legacy
+    per-sample training loop, larger values train on block-diagonal
+    minibatches (one stacked sparse pass per optimizer step).
 
     ``overrides`` must name actual :class:`DBG4ETHConfig` fields (``use_gsg``,
     ``classifier``, ...); unknown names raise :class:`TypeError` instead of
     silently attaching a dead attribute to the config.
     """
     config = DBG4ETHConfig(
-        gsg=GSGConfig(hidden_dim=16, epochs=epochs, contrastive_batch=6),
-        ldg=LDGConfig(hidden_dim=16, epochs=epochs, num_slices=4, first_pool_clusters=6),
+        gsg=GSGConfig(hidden_dim=16, epochs=epochs, contrastive_batch=6,
+                      batch_size=batch_size),
+        ldg=LDGConfig(hidden_dim=16, epochs=epochs, num_slices=4,
+                      first_pool_clusters=6, batch_size=batch_size),
         calibration=CalibrationConfig(),
     )
     for key, value in overrides.items():

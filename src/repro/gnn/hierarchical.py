@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.sparse import SparseAdjacency
+from repro.graph.sparse import BatchedAdjacency, SparseAdjacency, segment_reduce
 from repro.gnn.layers import GATLayer
 from repro.gnn.pooling import global_max_pool
+from repro.gnn.sparse_ops import (_segment_index, segment_expand_batch,
+                                  segment_max_batch, segment_sum_batch)
 from repro.nn import Linear, Module, Tensor, concat
 from repro.nn.functional import elu, leaky_relu, softmax
 
@@ -38,6 +40,38 @@ class GraphAttentionReadout(Module):
         weights = softmax(scores, axis=0)                              # Eq. 12
         projected = self.out_linear(candidates)
         graph_embedding = (weights * projected).sum(axis=0, keepdims=True)
+        return elu(graph_embedding)                                    # Eq. 13
+
+    def forward_batched(self, node_embeddings: Tensor,
+                        offsets: np.ndarray) -> Tensor:
+        """Batched read-out over a block-diagonal node stack.
+
+        ``node_embeddings`` is the stacked ``(N, d)`` matrix; ``offsets`` the
+        ``(B + 1,)`` node-offset vector of the batch.  Runs the same Eq. 10-13
+        math per segment — each block's candidate set is its own nodes plus its
+        own summary row, softmax-normalised within the block with the same
+        constant max-shift as the dense :func:`softmax` — and returns ``(B, d)``
+        graph embeddings matching the per-sample loop.
+        """
+        _, batch = _segment_index(offsets)
+        summary = segment_max_batch(node_embeddings, offsets)          # (B, d) — Eq. 10
+        node_scores = leaky_relu(self.score_linear(
+            concat([segment_expand_batch(summary, offsets),
+                    node_embeddings], axis=1)), 0.2)                   # (N, 1) — Eq. 11
+        summary_scores = leaky_relu(self.score_linear(
+            concat([summary, summary], axis=1)), 0.2)                  # (B, 1)
+        shift = np.maximum(
+            segment_reduce(node_scores.data, offsets, np.maximum),
+            summary_scores.data)                                       # (B, 1) constant
+        exp_nodes = (node_scores - Tensor(shift[batch])).exp()
+        exp_summary = (summary_scores - Tensor(shift)).exp()
+        denom = segment_sum_batch(exp_nodes, offsets) + exp_summary    # (B, 1) — Eq. 12
+        projected_nodes = self.out_linear(node_embeddings)
+        projected_summary = self.out_linear(summary)
+        graph_embedding = (
+            segment_sum_batch((exp_nodes / segment_expand_batch(denom, offsets))
+                              * projected_nodes, offsets)
+            + (exp_summary / denom) * projected_summary)               # (B, d)
         return elu(graph_embedding)                                    # Eq. 13
 
 
@@ -76,3 +110,14 @@ class HierarchicalAttentionEncoder(Module):
     def forward(self, x: Tensor, adjacency) -> Tensor:
         """Return the ``(1, hidden_dim)`` subgraph embedding."""
         return self.readout(self.node_embeddings(x, adjacency))
+
+    def forward_batched(self, x: Tensor, adjacency: BatchedAdjacency) -> Tensor:
+        """Return ``(B, hidden_dim)`` embeddings for a block-diagonal batch.
+
+        The GAT stack runs unchanged on the stacked adjacency — attention
+        structures and per-row softmaxes are block-local, so the node
+        embeddings equal the per-sample ones — and only the read-out needs the
+        segment offsets.
+        """
+        return self.readout.forward_batched(
+            self.node_embeddings(x, adjacency), adjacency.node_offsets)

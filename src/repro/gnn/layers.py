@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.sparse import SparseAdjacency
-from repro.gnn.sparse_ops import segment_softmax, spmm, spmm_edge_weighted
+from repro.gnn.sparse_ops import (gather_cols, gather_rows,
+                                  segment_softmax, spmm, spmm_edge_weighted)
 from repro.nn import Module, Linear, Parameter, Tensor, concat
 from repro.nn.functional import elu, leaky_relu, relu
 
@@ -97,7 +98,8 @@ class GATLayer(Module):
             h = self.projections[head](x)                   # (n, out_dim)
             score_src = h @ self.attn_src[head]             # (n, 1)
             score_dst = h @ self.attn_dst[head]             # (n, 1)
-            scores = leaky_relu(score_src[rows] + score_dst[cols],
+            scores = leaky_relu(gather_rows(score_src, structure)
+                                + gather_cols(score_dst, structure),
                                 self.negative_slope)        # (E, 1)
             attn = segment_softmax(scores, structure)
             head_outputs.append(spmm_edge_weighted(structure, attn, h))

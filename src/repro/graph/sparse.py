@@ -20,7 +20,7 @@ import threading
 
 import numpy as np
 
-__all__ = ["SparseAdjacency", "segment_reduce"]
+__all__ = ["SparseAdjacency", "BatchedAdjacency", "segment_reduce"]
 
 
 def segment_reduce(contrib: np.ndarray, indptr: np.ndarray, ufunc=np.add) -> np.ndarray:
@@ -147,6 +147,86 @@ class SparseAdjacency:
         return cls(np.zeros(num_nodes + 1, dtype=np.int64),
                    np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64))
 
+    #: Derived forms that :meth:`block_diagonal` can compose block-wise:
+    #: name of the zero-argument builder method -> its memo key.  Each form is
+    #: *local* (an entry of the derived matrix depends only on its own block),
+    #: so the block-diagonal of the per-sample derived forms equals the derived
+    #: form of the block-diagonal matrix bit-for-bit.
+    _BLOCKWISE_DERIVED = {
+        "binarized": "binarized",
+        "mean_normalized": "mean_normalized",
+        "attention_structure": "attention_structure",
+        "gcn_normalized": ("gcn_normalized", True),
+        "with_self_loops": ("self_loops", 1.0),
+    }
+
+    @classmethod
+    def block_diagonal(cls, samples, derived: tuple = (),
+                       compose_plans: bool = False) -> "BatchedAdjacency":
+        """Stack per-sample adjacencies into one block-diagonal matrix.
+
+        The returned :class:`BatchedAdjacency` carries the per-sample node and
+        edge segment offsets (``node_offsets[b]:node_offsets[b+1]`` are sample
+        ``b``'s rows), so a single sparse pass over the stack is exactly the
+        per-sample passes run side by side: every row's stored entries — and
+        therefore every segment reduction — are identical to the corresponding
+        per-sample row's.
+
+        ``derived`` names zero-argument derived forms (see
+        ``_BLOCKWISE_DERIVED``) to compose block-wise from the samples'
+        *memoized* forms instead of recomputing them on the stack: the
+        per-sample instances cache their normalisations across training steps,
+        so a fresh stack inherits them in O(nnz) concatenation time.  The
+        composition is bit-identical to computing the form on the stacked
+        matrix (pinned by the hypothesis suite in
+        ``tests/test_batched_training.py``).
+
+        ``compose_plans=True`` additionally seeds the transpose plan (the
+        column-sort behind :meth:`rmatmul` and every sparse backward pass) of
+        the stack — and of each composed derived form — from the samples'
+        memoized plans.  Block-diagonal columns are segmented by block, so the
+        stacked column sort is exactly the per-block sorts laid side by side;
+        each per-sample ``lexsort`` then runs once ever instead of once per
+        minibatch per epoch.
+        """
+        samples = list(samples)
+        if not samples:
+            raise ValueError("block_diagonal requires at least one sample")
+        node_offsets = np.zeros(len(samples) + 1, dtype=np.int64)
+        edge_offsets = np.zeros(len(samples) + 1, dtype=np.int64)
+        np.cumsum([s.num_nodes for s in samples], out=node_offsets[1:])
+        np.cumsum([s.nnz for s in samples], out=edge_offsets[1:])
+        indptr = np.zeros(node_offsets[-1] + 1, dtype=np.int64)
+        pieces = [s.indptr[1:] + offset
+                  for s, offset in zip(samples, edge_offsets[:-1])]
+        if pieces:
+            np.concatenate(pieces, out=indptr[1:])
+        indices = np.concatenate(
+            [s.indices + offset for s, offset in zip(samples, node_offsets[:-1])]
+        ) if edge_offsets[-1] else np.zeros(0, dtype=np.int64)
+        data = np.concatenate([s.data for s in samples]) \
+            if edge_offsets[-1] else np.zeros(0, dtype=np.float64)
+        stacked = BatchedAdjacency(indptr, indices, data,
+                                   node_offsets=node_offsets,
+                                   edge_offsets=edge_offsets)
+        if compose_plans:
+            t_indptr = np.zeros(node_offsets[-1] + 1, dtype=np.int64)
+            t_pieces = [s._transpose_plan()[1][1:] + offset
+                        for s, offset in zip(samples, edge_offsets[:-1])]
+            if t_pieces:
+                np.concatenate(t_pieces, out=t_indptr[1:])
+            perm = np.concatenate(
+                [s._transpose_plan()[0] + offset
+                 for s, offset in zip(samples, edge_offsets[:-1])]
+            ) if edge_offsets[-1] else np.zeros(0, dtype=np.int64)
+            stacked._memo["transpose_plan"] = (perm, t_indptr)
+        for name in derived:
+            key = cls._BLOCKWISE_DERIVED[name]
+            stacked._memo[key] = cls.block_diagonal(
+                [getattr(s, name)() for s in samples],
+                compose_plans=compose_plans)
+        return stacked
+
     # --------------------------------------------------------------- accessors
     @property
     def shape(self) -> tuple[int, int]:
@@ -173,11 +253,13 @@ class SparseAdjacency:
         return segment_reduce(self.data, self.indptr)
 
     def is_symmetric(self) -> bool:
-        """Structure and values equal to the transpose (within allclose)."""
-        t = self.transpose()
-        return (np.array_equal(self.indptr, t.indptr)
-                and np.array_equal(self.indices, t.indices)
-                and np.allclose(self.data, t.data))
+        """Structure and values equal to the transpose (within allclose, cached)."""
+        def build():
+            t = self.transpose()
+            return (np.array_equal(self.indptr, t.indptr)
+                    and np.array_equal(self.indices, t.indices)
+                    and np.allclose(self.data, t.data))
+        return self._memoized("is_symmetric", build)
 
     # ------------------------------------------------------------- derived forms
     def _memoized(self, key, build):
@@ -234,13 +316,41 @@ class SparseAdjacency:
                   out=indptr[1:])
         return SparseAdjacency(indptr, self.indices[keep], self.data[keep])
 
-    def symmetrized_max(self) -> "SparseAdjacency":
-        """``max(A, A.T)`` for non-negative matrices (absent entries count as 0)."""
-        return SparseAdjacency.from_coo(
-            np.concatenate([self.rows, self.indices]),
-            np.concatenate([self.indices, self.rows]),
-            np.concatenate([self.data, self.data]),
-            self.num_nodes, combine=np.maximum)
+    def _symmetrize_plan(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(order, starts, out_indices, out_indptr) of the ``max(A, A.T)`` scan.
+
+        The sort/dedup of the doubled COO depends only on the structure, so it
+        is computed once and replayed against any value vector that shares this
+        instance's sparsity pattern — e.g. every augmentation edge-drop draw.
+        """
+        def build():
+            rows = np.concatenate([self.rows, self.indices])
+            cols = np.concatenate([self.indices, self.rows])
+            order = np.lexsort((cols, rows))
+            rows, cols = rows[order], cols[order]
+            keys = rows * self.num_nodes + cols
+            starts = np.flatnonzero(np.diff(keys, prepend=keys[0] - 1))
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(np.bincount(rows[starts], minlength=self.num_nodes),
+                      out=indptr[1:])
+            return order, starts, cols[starts], indptr
+        return self._memoized("symmetrize_plan", build)
+
+    def symmetrized_max(self, data: np.ndarray | None = None) -> "SparseAdjacency":
+        """``max(A, A.T)`` for non-negative matrices (absent entries count as 0).
+
+        ``data`` optionally substitutes a different value vector over this
+        instance's sparsity pattern (same length and slot order), reusing the
+        memoized sort/dedup plan — the hot path of repeated augmentations.
+        """
+        vals = self.data if data is None else np.asarray(data, dtype=np.float64)
+        if self.nnz == 0:
+            return self if data is None else SparseAdjacency(
+                self.indptr, self.indices, vals)
+        order, starts, out_indices, out_indptr = self._symmetrize_plan()
+        doubled = np.concatenate([vals, vals])[order]
+        return SparseAdjacency(out_indptr, out_indices,
+                               np.maximum.reduceat(doubled, starts))
 
     def scale(self, row: np.ndarray | None = None, col: np.ndarray | None = None,
               ) -> "SparseAdjacency":
@@ -302,20 +412,155 @@ class SparseAdjacency:
             return perm, t_indptr
         return self._memoized("transpose_plan", build)
 
+    def _rows_nonempty(self) -> bool:
+        """True when every CSR row stores at least one entry (cached)."""
+        return self._memoized(
+            "rows_nonempty", lambda: bool((self.indptr[1:] > self.indptr[:-1]).all()))
+
+    def _cols_nonempty(self) -> bool:
+        """True when every column stores at least one entry (cached)."""
+        def build():
+            _, t_indptr = self._transpose_plan()
+            return bool((t_indptr[1:] > t_indptr[:-1]).all())
+        return self._memoized("cols_nonempty", build)
+
+    def reduce_rows(self, contrib: np.ndarray, ufunc=np.add) -> np.ndarray:
+        """Reduce row-ordered per-edge contributions into per-row outputs.
+
+        Same result as ``segment_reduce(contrib, self.indptr, ufunc)``; when
+        every row is non-empty (self-looped structures — the message-passing
+        hot path) the reduction runs straight off ``indptr`` with no zero
+        buffer or mask.
+        """
+        if contrib.shape[0] and self._rows_nonempty():
+            return ufunc.reduceat(contrib, self.indptr[:-1], axis=0)
+        return segment_reduce(contrib, self.indptr, ufunc)
+
+    def reduce_cols(self, contrib: np.ndarray, ufunc=np.add) -> np.ndarray:
+        """Reduce row-ordered per-edge contributions into per-column outputs,
+        re-sorting through the memoized transpose plan."""
+        perm, t_indptr = self._transpose_plan()
+        if contrib.shape[0] and self._cols_nonempty():
+            return ufunc.reduceat(contrib[perm], t_indptr[:-1], axis=0)
+        return segment_reduce(contrib[perm], t_indptr, ufunc)
+
+    def _rmatmul_plan(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pre-permuted ``(rows[perm], data[perm], t_indptr)`` for ``A.T @ g``.
+
+        Gathering ``g`` by ``rows[perm]`` and scaling by ``data[perm]`` yields
+        entry-for-entry the column-sorted contributions that
+        ``(g[rows] * data)[perm]`` would — same scalar products, same
+        ``reduceat`` accumulation order — with one full-width pass instead of
+        a compute-then-permute pair.
+        """
+        def build():
+            perm, t_indptr = self._transpose_plan()
+            return self.rows[perm], self.data[perm], t_indptr
+        return self._memoized("rmatmul_plan", build)
+
     def matmul(self, x: np.ndarray) -> np.ndarray:
         """``A @ x`` for a dense vector or matrix ``x``."""
         x = np.asarray(x, dtype=np.float64)
-        contrib = self.data * x[self.indices] if x.ndim == 1 \
-            else self.data[:, None] * x[self.indices]
-        return segment_reduce(contrib, self.indptr)
+        contrib = x[self.indices]          # fresh gather — in-place scale is safe
+        contrib *= self.data if x.ndim == 1 else self.data[:, None]
+        return self.reduce_rows(contrib)
 
     def rmatmul(self, g: np.ndarray) -> np.ndarray:
         """``A.T @ g`` for a dense vector or matrix ``g`` (no transpose copy)."""
         g = np.asarray(g, dtype=np.float64)
-        contrib = self.data * g[self.rows] if g.ndim == 1 \
-            else self.data[:, None] * g[self.rows]
-        perm, t_indptr = self._transpose_plan()
-        return segment_reduce(contrib[perm], t_indptr)
+        rows_perm, data_perm, t_indptr = self._rmatmul_plan()
+        contrib = g[rows_perm]             # fresh gather — in-place scale is safe
+        contrib *= data_perm if g.ndim == 1 else data_perm[:, None]
+        if contrib.shape[0] and self._cols_nonempty():
+            return np.add.reduceat(contrib, t_indptr[:-1], axis=0)
+        return segment_reduce(contrib, t_indptr, np.add)
 
     def __repr__(self) -> str:
         return f"SparseAdjacency(n={self.num_nodes}, nnz={self.nnz})"
+
+
+class BatchedAdjacency(SparseAdjacency):
+    """A block-diagonal :class:`SparseAdjacency` that remembers its blocks.
+
+    Built by :meth:`SparseAdjacency.block_diagonal`.  ``node_offsets`` /
+    ``edge_offsets`` are ``(num_graphs + 1,)`` int64 arrays: sample ``b`` owns
+    rows ``node_offsets[b]:node_offsets[b+1]`` and stored entries
+    ``edge_offsets[b]:edge_offsets[b+1]``.  All derived forms remain plain
+    block-diagonal matrices (offsets unchanged by construction), so batched
+    consumers keep reading the offsets from the instance they built.
+    """
+
+    __slots__ = ("node_offsets", "edge_offsets")
+
+    def __init__(self, indptr, indices, data, node_offsets=None, edge_offsets=None):
+        super().__init__(indptr, indices, data)
+        if node_offsets is None:            # degenerate: one block
+            node_offsets = np.array([0, self.num_nodes], dtype=np.int64)
+        if edge_offsets is None:
+            edge_offsets = np.array([0, self.nnz], dtype=np.int64)
+        self.node_offsets = np.asarray(node_offsets, dtype=np.int64)
+        self.edge_offsets = np.asarray(edge_offsets, dtype=np.int64)
+        if self.node_offsets[-1] != self.num_nodes:
+            raise ValueError("node_offsets must span all rows")
+        if self.edge_offsets[-1] != self.nnz:
+            raise ValueError("edge_offsets must span all stored entries")
+
+    def __getstate__(self):
+        return (self.indptr, self.indices, self.data,
+                self.node_offsets, self.edge_offsets)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    @classmethod
+    def from_dense_blocks(cls, blocks: np.ndarray) -> "BatchedAdjacency":
+        """Block-diagonal CSR of a dense ``(B, c, c)`` stack, in one pass.
+
+        Equivalent to ``SparseAdjacency.block_diagonal([from_dense(b) for b in
+        blocks])`` bit-for-bit (same row-major non-zero scan, same dropped
+        zeros), without materialising ``B`` intermediate instances — the
+        construction DiffPool's batched coarse adjacency needs once per pool
+        layer per step.
+        """
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
+            raise ValueError("blocks must be a (B, c, c) stack of square matrices")
+        num_graphs, c, _ = blocks.shape
+        flat = blocks.reshape(num_graphs * c, c)
+        rows_nz, cols_nz = np.nonzero(flat)
+        indptr = np.zeros(num_graphs * c + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows_nz, minlength=num_graphs * c),
+                  out=indptr[1:])
+        indices = cols_nz.astype(np.int64) + (rows_nz // c) * c
+        node_offsets = np.arange(num_graphs + 1, dtype=np.int64) * c
+        return cls(indptr, indices, flat[rows_nz, cols_nz],
+                   node_offsets=node_offsets,
+                   edge_offsets=indptr[node_offsets])
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.node_offsets) - 1
+
+    def node_counts(self) -> np.ndarray:
+        """Nodes per block, ``(num_graphs,)``."""
+        return np.diff(self.node_offsets)
+
+    def batch_vector(self) -> np.ndarray:
+        """Block index per row (cached expansion of ``node_offsets``)."""
+        return self._memoized("batch_vector", lambda: np.repeat(
+            np.arange(self.num_graphs, dtype=np.int64), self.node_counts()))
+
+    def blocks(self) -> list[SparseAdjacency]:
+        """Split back into per-sample adjacencies (zero-copy data slices)."""
+        out = []
+        for b in range(self.num_graphs):
+            n0, n1 = self.node_offsets[b], self.node_offsets[b + 1]
+            e0, e1 = self.edge_offsets[b], self.edge_offsets[b + 1]
+            out.append(SparseAdjacency(
+                self.indptr[n0:n1 + 1] - self.indptr[n0],
+                self.indices[e0:e1] - n0, self.data[e0:e1]))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"BatchedAdjacency(graphs={self.num_graphs}, "
+                f"n={self.num_nodes}, nnz={self.nnz})")

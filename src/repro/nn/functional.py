@@ -23,7 +23,7 @@ def relu(x: Tensor) -> Tensor:
     data = np.maximum(x.data, 0.0)
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * (x.data > 0.0))
+        x._accumulate(grad * (x.data > 0.0), owned=True)
 
     return Tensor._make(data, (x,), backward)
 
@@ -33,7 +33,8 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     data = np.where(x.data > 0.0, x.data, negative_slope * x.data)
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * np.where(x.data > 0.0, 1.0, negative_slope))
+        x._accumulate(grad * np.where(x.data > 0.0, 1.0, negative_slope),
+                      owned=True)
 
     return Tensor._make(data, (x,), backward)
 
@@ -44,7 +45,8 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     data = np.where(x.data > 0.0, x.data, exp_part)
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad * np.where(x.data > 0.0, 1.0, exp_part + alpha))
+        x._accumulate(grad * np.where(x.data > 0.0, 1.0, exp_part + alpha),
+                      owned=True)
 
     return Tensor._make(data, (x,), backward)
 

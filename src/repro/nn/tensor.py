@@ -109,14 +109,25 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``owned=True`` promises the caller freshly allocated ``grad`` for this
+        call and keeps no other reference to it — the buffer is adopted
+        directly instead of defensively copied.  Backwards that forward a
+        shared buffer (``__add__``) or a view of one (``reshape``, ``concat``,
+        broadcasting ``sum``) must leave it False.
+        """
         if not self.requires_grad:
             return
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            # Copy unless adopted: the incoming buffer may be shared with
+            # sibling parents.
+            self.grad = grad if owned and grad.flags.writeable else grad.copy()
         else:
-            self.grad = self.grad + grad
+            # In-place: self.grad is always private (copied or adopted above).
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -160,7 +171,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -175,8 +186,8 @@ class Tensor:
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
+            self._accumulate(grad * other.data, owned=True)
+            other._accumulate(grad * self.data, owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -187,8 +198,8 @@ class Tensor:
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data ** 2))
+            self._accumulate(grad / other.data, owned=True)
+            other._accumulate(-grad * self.data / (other.data ** 2), owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -199,7 +210,8 @@ class Tensor:
         data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1),
+                             owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -211,15 +223,19 @@ class Tensor:
             if self.requires_grad:
                 if other.data.ndim == 1:
                     self._accumulate(np.outer(grad, other.data) if grad.ndim == 1
-                                     else grad[..., None] * other.data)
+                                     else grad[..., None] * other.data,
+                                     owned=True)
                 else:
-                    self._accumulate(grad @ other.data.swapaxes(-1, -2))
+                    self._accumulate(grad @ other.data.swapaxes(-1, -2),
+                                     owned=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     other._accumulate(np.outer(self.data, grad) if grad.ndim == 1
-                                      else self.data[..., None] @ grad[None, ...])
+                                      else self.data[..., None] @ grad[None, ...],
+                                      owned=True)
                 else:
-                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+                    other._accumulate(self.data.swapaxes(-1, -2) @ grad,
+                                      owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -256,7 +272,7 @@ class Tensor:
             mask = (self.data == max_expanded).astype(np.float64)
             # Split the gradient evenly between ties for a well-defined subgradient.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * expanded / counts)
+            self._accumulate(mask * expanded / counts, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -265,7 +281,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -273,7 +289,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -284,7 +300,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -292,7 +308,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data ** 2))
+            self._accumulate(grad * (1.0 - data ** 2), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -300,7 +316,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -309,7 +325,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -346,7 +362,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(data, (self,), backward)
 

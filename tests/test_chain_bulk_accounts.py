@@ -1,0 +1,117 @@
+"""Tests for vectorised account registration: bulk paths and lazy placeholders."""
+
+import pytest
+
+from repro.chain import Account, AccountType, Ledger
+from repro.chain.accounts import make_address, make_addresses
+
+
+class TestMakeAddresses:
+    def test_matches_scalar_function(self):
+        assert make_addresses(5) == [make_address(i) for i in range(5)]
+
+    def test_matches_scalar_with_prefix_and_start(self):
+        assert make_addresses(7, prefix="ex", start=100) == \
+            [make_address(i, prefix="ex") for i in range(100, 107)]
+
+    def test_large_indices_keep_width(self):
+        start = 16 ** 12
+        for address in make_addresses(3, prefix="phish", start=start):
+            assert address.startswith("0x") and len(address) == 42
+
+    def test_empty_and_negative_counts(self):
+        assert make_addresses(0) == []
+        assert make_addresses(-3) == []
+
+
+class TestAddAccountsBulk:
+    def test_parity_with_scalar_loop(self):
+        addresses = make_addresses(10, prefix="ex")
+        bulk, scalar = Ledger(), Ledger()
+        bulk.add_accounts_bulk(addresses, AccountType.CONTRACT)
+        for address in addresses:
+            scalar.add_account(Account(address, AccountType.CONTRACT))
+        assert bulk.num_accounts == scalar.num_accounts
+        assert [a.address for a in bulk.accounts] == \
+            [a.address for a in scalar.accounts]
+        for address in addresses:
+            assert bulk.get_account(address) == scalar.get_account(address)
+
+    def test_duplicate_within_batch_is_all_or_nothing(self):
+        ledger = Ledger()
+        with pytest.raises(ValueError, match="duplicate"):
+            ledger.add_accounts_bulk(["0xaa", "0xbb", "0xaa"], AccountType.EOA)
+        assert ledger.num_accounts == 0
+
+    def test_duplicate_against_registry_is_all_or_nothing(self):
+        ledger = Ledger()
+        ledger.add_account(Account("0xbb"))
+        with pytest.raises(ValueError, match="0xbb"):
+            ledger.add_accounts_bulk(["0xaa", "0xbb"], AccountType.EOA)
+        assert ledger.num_accounts == 1
+        assert not ledger.has_account("0xaa")
+
+    def test_registration_order_preserved_across_batches(self):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(["0xcc", "0xaa"], AccountType.EOA)
+        ledger.add_account(Account("0xbb"))
+        assert [a.address for a in ledger.accounts] == ["0xcc", "0xaa", "0xbb"]
+
+
+class TestLazyMaterialisation:
+    def test_get_account_materialises_once(self):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(["0xaa"], AccountType.CONTRACT)
+        account = ledger.get_account("0xaa")
+        assert isinstance(account, Account)
+        assert account.account_type is AccountType.CONTRACT
+        assert account.balance == 0.0 and account.nonce == 0
+        assert ledger.get_account("0xaa") is account
+
+    def test_is_contract_reads_placeholders(self):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(["0xcc"], AccountType.CONTRACT)
+        ledger.add_accounts_bulk(["0xee"], AccountType.EOA)
+        assert ledger.is_contract("0xcc")
+        assert not ledger.is_contract("0xee")
+        # Reading the kind must not have materialised Account objects.
+        assert not any(isinstance(entry, Account)
+                       for entry in ledger._accounts.values())
+
+    def test_contract_set_and_summary_skip_materialisation(self):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(make_addresses(4, prefix="ct"),
+                                 AccountType.CONTRACT)
+        ledger.add_accounts_bulk(make_addresses(3, prefix="us", start=50),
+                                 AccountType.EOA)
+        assert ledger.contract_address_set() == \
+            frozenset(make_addresses(4, prefix="ct"))
+        assert ledger.summary()["num_contracts"] == 4
+        assert not any(isinstance(entry, Account)
+                       for entry in ledger._accounts.values())
+
+
+class TestAccountRecords:
+    def test_placeholders_yield_default_rows(self):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(["0xaa"], AccountType.CONTRACT)
+        ledger.add_account(Account("0xbb", balance=2.5, nonce=7))
+        records = list(ledger.account_records())
+        assert records == [("0xaa", "contract", 0.0, 0),
+                           ("0xbb", "eoa", 2.5, 7)]
+        # The persistence view must not materialise placeholder objects.
+        assert not isinstance(ledger._accounts["0xaa"], Account)
+
+    def test_bulk_registered_ledger_round_trips(self, tmp_path):
+        ledger = Ledger()
+        ledger.add_accounts_bulk(make_addresses(5, prefix="ex"),
+                                 AccountType.CONTRACT)
+        ledger.add_accounts_bulk(make_addresses(5, prefix="us", start=10),
+                                 AccountType.EOA)
+        ledger.sync(tmp_path / "chain")
+        reopened = Ledger.open(tmp_path / "chain")
+        assert list(reopened.account_records()) == list(ledger.account_records())
+        for address in make_addresses(5, prefix="ex"):
+            assert reopened.is_contract(address)
+        for address in make_addresses(5, prefix="us", start=10):
+            assert not reopened.is_contract(address)
