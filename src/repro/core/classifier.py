@@ -14,13 +14,15 @@ from repro.ensemble import (
 
 __all__ = ["AccountClassificationModule", "CLASSIFIER_FACTORIES"]
 
-#: Factories for the five final classifiers compared in Figure 7.
+#: Factories for the five final classifiers compared in Figure 7.  Extra
+#: keyword arguments (``tree_method``, ``backend``, ...) are forwarded to the
+#: underlying head, so callers can pin e.g. the exact-splitter reference.
 CLASSIFIER_FACTORIES = {
-    "lightgbm": lambda seed: LightGBMClassifier(seed=seed),
-    "xgboost": lambda seed: XGBoostClassifier(seed=seed),
-    "random_forest": lambda seed: RandomForestClassifier(seed=seed),
-    "adaboost": lambda seed: AdaBoostClassifier(seed=seed),
-    "mlp": lambda seed: MLPClassifier(seed=seed),
+    "lightgbm": lambda seed, **kw: LightGBMClassifier(seed=seed, **kw),
+    "xgboost": lambda seed, **kw: XGBoostClassifier(seed=seed, **kw),
+    "random_forest": lambda seed, **kw: RandomForestClassifier(seed=seed, **kw),
+    "adaboost": lambda seed, **kw: AdaBoostClassifier(seed=seed, **kw),
+    "mlp": lambda seed, **kw: MLPClassifier(seed=seed, **kw),
 }
 
 
@@ -32,13 +34,13 @@ class AccountClassificationModule:
     Table IV "w/o LightGBM" ablation (which uses the MLP).
     """
 
-    def __init__(self, classifier: str = "lightgbm", seed: int = 0):
+    def __init__(self, classifier: str = "lightgbm", seed: int = 0, **model_kwargs):
         if classifier not in CLASSIFIER_FACTORIES:
             raise ValueError(
                 f"unknown classifier {classifier!r}; choose from {sorted(CLASSIFIER_FACTORIES)}")
         self.classifier_name = classifier
         self.seed = seed
-        self._model = CLASSIFIER_FACTORIES[classifier](seed)
+        self._model = CLASSIFIER_FACTORIES[classifier](seed, **model_kwargs)
 
     def fit(self, calibrated: np.ndarray, labels: np.ndarray) -> "AccountClassificationModule":
         calibrated = np.atleast_2d(np.asarray(calibrated, dtype=float))

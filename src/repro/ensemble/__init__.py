@@ -3,10 +3,23 @@
 DBG4ETH feeds the calibrated GSG/LDG probabilities into a LightGBM classifier;
 the Figure 7 study also compares random forest, AdaBoost, XGBoost and an MLP.
 All of them are reimplemented here from scratch on numpy behind a common
-``fit`` / ``predict`` / ``predict_proba`` interface.
+``fit`` / ``predict`` / ``predict_proba`` interface.  The tree-based heads fit
+and predict on the flat histogram engine (:mod:`repro.ensemble.engine`); the
+recursive exact-splitter trees remain available as the validated reference
+(``tree_method="exact"``).
 """
 
-from repro.ensemble.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ensemble.engine import (
+    FlatTree,
+    FlatTreeStack,
+    GrowthParams,
+    HistogramBinner,
+)
+from repro.ensemble.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    FlatClassifierTree,
+)
 from repro.ensemble.boosting import (
     GradientBoostingClassifier,
     LightGBMClassifier,
@@ -17,8 +30,13 @@ from repro.ensemble.forest import RandomForestClassifier
 from repro.ensemble.mlp import MLPClassifier
 
 __all__ = [
+    "FlatTree",
+    "FlatTreeStack",
+    "GrowthParams",
+    "HistogramBinner",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
+    "FlatClassifierTree",
     "GradientBoostingClassifier",
     "LightGBMClassifier",
     "XGBoostClassifier",

@@ -1,10 +1,44 @@
-"""Boosted tree classifiers: gradient boosting, LightGBM-style, XGBoost-style, AdaBoost."""
+"""Boosted tree classifiers: gradient boosting, LightGBM-style, XGBoost-style, AdaBoost.
+
+All three additive heads fit on the flat histogram engine
+(:mod:`repro.ensemble.engine`) by default: features are quantile-binned once
+per fit, every node's best split comes from one vectorised bincount pass, and
+prediction descends the stacked flat trees of the whole ensemble at once.
+``tree_method="exact"`` preserves the original recursive exact-splitter
+algorithms bit-for-bit as the reference implementation.
+
+The heads differ in the boosting mathematics, mirroring their namesakes:
+
+* :class:`GradientBoostingClassifier` — first-order logistic boosting; each
+  tree fits the residual ``y - sigmoid(raw)`` with mean leaves.
+* :class:`XGBoostClassifier` — second-order (Newton) logistic boosting; each
+  tree fits gradient/hessian sums with L2-regularised leaves ``-G/(H+λ)``.
+* :class:`LightGBMClassifier` — Newton boosting with *leaf-wise* (best-gain
+  first) growth under a ``max_leaves`` budget plus row subsampling — the
+  engineering profile the paper cites for robustness to outliers.
+
+When the real ``lightgbm``/``xgboost`` packages are installed the LightGBM /
+XGBoost heads can delegate to them (``backend="auto"``); in their absence the
+heads degrade silently to the built-in engine (see
+:mod:`repro.ensemble.native`).
+"""
 
 from __future__ import annotations
 
+import base64
+
 import numpy as np
 
-from repro.ensemble.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ensemble import native
+from repro.ensemble.engine import (
+    FlatTree,
+    FlatTreeStack,
+    GrowthParams,
+    HistogramBinner,
+    grow_classification_tree,
+    grow_regression_tree,
+)
+from repro.ensemble.tree import DecisionTreeClassifier, DecisionTreeRegressor, FlatClassifierTree
 
 __all__ = [
     "GradientBoostingClassifier",
@@ -28,69 +62,34 @@ def _validate_binary(y: np.ndarray) -> np.ndarray:
 
 
 class _BoostedTreesState:
-    """Shared get_state/set_state for additive regression-tree ensembles.
+    """Shared machinery for additive regression-tree ensembles.
 
-    Hosts expose ``learning_rate``, ``max_depth``, ``_base_score`` and
-    ``_trees`` (a list of :class:`DecisionTreeRegressor`).
+    Hosts expose ``learning_rate``, ``max_depth``, ``min_samples_leaf``,
+    ``max_features``, ``_base_score`` and ``_trees`` (a list of
+    :class:`FlatTree`).  Prediction stacks every tree's flat arrays once and
+    descends them together; the per-tree leaf contributions are accumulated
+    left-to-right so scores stay bit-identical to the sequential loop.
     """
 
-    def get_state(self) -> dict:
-        """Serializable fitted state: base score, shrinkage and every tree."""
-        return {
-            "learning_rate": float(self.learning_rate),
-            "base_score": float(self._base_score),
-            "trees": [tree.get_state() for tree in self._trees],
-        }
+    _input_space = "raw"
+    _native_booster = None
 
-    def set_state(self, state: dict):
-        self.learning_rate = float(state["learning_rate"])
-        self._base_score = float(state["base_score"])
-        self._trees = [DecisionTreeRegressor(max_depth=self.max_depth).set_state(tree)
-                       for tree in state["trees"]]
-        return self
-
-
-class GradientBoostingClassifier(_BoostedTreesState):
-    """Binary gradient boosting with logistic loss and regression-tree weak learners."""
-
-    def __init__(self, n_estimators: int = 50, learning_rate: float = 0.1,
-                 max_depth: int = 3, subsample: float = 1.0, seed: int = 0):
-        self.n_estimators = n_estimators
-        self.learning_rate = learning_rate
-        self.max_depth = max_depth
-        self.subsample = subsample
-        self.seed = seed
-        self._trees: list[DecisionTreeRegressor] = []
-        self._base_score = 0.0
-
-    def fit(self, X, y) -> "GradientBoostingClassifier":
-        X = np.asarray(X, dtype=float)
-        y = _validate_binary(y)
-        rng = np.random.default_rng(self.seed)
-        positive_rate = np.clip(y.mean(), 1e-6, 1.0 - 1e-6)
-        self._base_score = float(np.log(positive_rate / (1.0 - positive_rate)))
-        raw = np.full(len(y), self._base_score)
-        self._trees = []
-        for _ in range(self.n_estimators):
-            residual = y - _sigmoid(raw)          # negative gradient of logistic loss
-            if self.subsample < 1.0:
-                idx = rng.random(len(y)) < self.subsample
-                if idx.sum() < 2:
-                    idx = np.ones(len(y), dtype=bool)
-            else:
-                idx = np.ones(len(y), dtype=bool)
-            tree = DecisionTreeRegressor(max_depth=self.max_depth,
-                                         rng=np.random.default_rng(rng.integers(1 << 31)))
-            tree.fit(X[idx], residual[idx])
-            raw += self.learning_rate * tree.predict(X)
-            self._trees.append(tree)
-        return self
+    def _transform_inputs(self, X: np.ndarray) -> np.ndarray:
+        """Hook for heads whose persisted trees expect preprocessed inputs."""
+        return X
 
     def decision_function(self, X) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self._native_booster is not None:
+            return self._native_raw_scores(X)
+        X = self._transform_inputs(X)
         raw = np.full(len(X), self._base_score)
-        for tree in self._trees:
-            raw += self.learning_rate * tree.predict(X)
+        if self._trees:
+            if self._stack is None:
+                self._stack = FlatTreeStack(self._trees)
+            leaves = self._stack.leaf_values(X)
+            for t in range(len(self._trees)):
+                raw += self.learning_rate * leaves[t]
         return raw
 
     def predict_proba(self, X) -> np.ndarray:
@@ -100,24 +99,217 @@ class GradientBoostingClassifier(_BoostedTreesState):
     def predict(self, X) -> np.ndarray:
         return (self.decision_function(X) >= 0.0).astype(int)
 
+    # ------------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serializable fitted state: base score, shrinkage and every tree.
+
+        The per-tree payload is the PR-3 preorder-array contract;
+        ``tree_params`` additionally records the fitted tree hyperparameters
+        so ``set_state`` restores them (older states that lack the key leave
+        the host's constructor values untouched).
+        """
+        if self._native_booster is not None:
+            return self._native_get_state()
+        return {
+            "learning_rate": float(self.learning_rate),
+            "base_score": float(self._base_score),
+            "tree_params": {
+                "max_depth": int(self.max_depth),
+                "min_samples_leaf": int(self.min_samples_leaf),
+                "max_features": None if self.max_features is None else int(self.max_features),
+            },
+            "trees": [tree.get_state() for tree in self._trees],
+        }
+
+    def set_state(self, state: dict):
+        if "native_model" in state:
+            self._set_native_state(state)
+            return self
+        self._native_booster = None
+        self.learning_rate = float(state["learning_rate"])
+        self._base_score = float(state["base_score"])
+        tree_params = state.get("tree_params")
+        if tree_params is not None:
+            self.max_depth = int(tree_params["max_depth"])
+            self.min_samples_leaf = int(tree_params["min_samples_leaf"])
+            max_features = tree_params["max_features"]
+            self.max_features = None if max_features is None else int(max_features)
+        self._trees = [FlatTree.from_state(tree) for tree in state["trees"]]
+        self._stack = None
+        return self
+
+    # ------------------------------------------------------- native escape hatch
+    def _native_raw_scores(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _native_get_state(self) -> dict:  # pragma: no cover
+        raise NotImplementedError
+
+    def _set_native_state(self, state: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GradientBoostingClassifier(_BoostedTreesState):
+    """Binary gradient boosting with logistic loss and regression-tree weak learners."""
+
+    def __init__(self, n_estimators: int = 50, learning_rate: float = 0.1,
+                 max_depth: int = 3, subsample: float = 1.0, seed: int = 0,
+                 min_samples_leaf: int = 1, max_features: int | None = None,
+                 max_bins: int = 32, tree_method: str = "hist"):
+        if tree_method not in ("hist", "exact"):
+            raise ValueError(f"unsupported tree_method: {tree_method!r}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.seed = seed
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.tree_method = tree_method
+        self._trees: list[FlatTree] = []
+        self._stack: FlatTreeStack | None = None
+        self._base_score = 0.0
+
+    def _subsample_mask(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.subsample < 1.0:
+            idx = rng.random(n) < self.subsample
+            if idx.sum() < 2:
+                idx = np.ones(n, dtype=bool)
+            return idx
+        return np.ones(n, dtype=bool)
+
+    def _growth_params(self) -> GrowthParams:
+        return GrowthParams(max_depth=self.max_depth,
+                            min_samples_leaf=self.min_samples_leaf,
+                            max_features=self.max_features)
+
+    def fit(self, X, y) -> "GradientBoostingClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = _validate_binary(y)
+        rng = np.random.default_rng(self.seed)
+        positive_rate = np.clip(y.mean(), 1e-6, 1.0 - 1e-6)
+        self._base_score = float(np.log(positive_rate / (1.0 - positive_rate)))
+        raw = np.full(len(y), self._base_score)
+        self._trees = []
+        self._stack = None
+        self._native_booster = None
+        if self.tree_method == "hist":
+            self._fit_hist(X, y, raw, rng)
+        else:
+            self._fit_exact(X, y, raw, rng)
+        return self
+
+    def _fit_hist(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                  rng: np.random.Generator) -> None:
+        binner = HistogramBinner(self.max_bins).fit(X)
+        codes = binner.transform(X)
+        params = self._growth_params()
+        for _ in range(self.n_estimators):
+            residual = y - _sigmoid(raw)          # negative gradient of logistic loss
+            idx = self._subsample_mask(rng, len(y))
+            tree_rng = np.random.default_rng(rng.integers(1 << 31))
+            tree = grow_regression_tree(codes[idx], binner.edges_, residual[idx],
+                                        np.ones(int(idx.sum())), params, tree_rng)
+            raw += self.learning_rate * tree.predict_values(X)
+            self._trees.append(tree)
+
+    def _fit_exact(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                   rng: np.random.Generator) -> None:
+        """The original recursive exact-splitter algorithm (reference path)."""
+        for _ in range(self.n_estimators):
+            residual = y - _sigmoid(raw)
+            idx = self._subsample_mask(rng, len(y))
+            tree = DecisionTreeRegressor(max_depth=self.max_depth,
+                                         min_samples_leaf=self.min_samples_leaf,
+                                         max_features=self.max_features,
+                                         rng=np.random.default_rng(rng.integers(1 << 31)))
+            tree.fit(X[idx], residual[idx])
+            raw += self.learning_rate * tree.predict(X)
+            self._trees.append(tree.flat)
+
 
 class LightGBMClassifier(GradientBoostingClassifier):
-    """LightGBM-style gradient boosting: histogram feature binning + deeper trees.
+    """LightGBM-style boosting: histogram bins, Newton steps, leaf-wise growth.
 
-    The defining engineering tricks of LightGBM (histogram binning of features,
-    leaf-wise growth) are approximated by pre-binning every feature into
-    ``max_bins`` quantile buckets before fitting the same logistic-loss boosting
-    machinery, which keeps split finding cheap and mirrors its robustness to
-    outliers — the property the paper cites for choosing it.
+    The defining engineering tricks of LightGBM are reproduced natively:
+    features are quantile-binned once (``max_bins``), trees grow *leaf-wise*
+    (always splitting the frontier leaf with the best gain, bounded by
+    ``max_leaves`` and capped at ``max_depth``), and leaves take second-order
+    Newton values ``-G/(H+λ)``.  Row subsampling mirrors bagging.  With
+    ``tree_method="exact"`` the original PR-3 algorithm runs instead
+    (first-order boosting over the binned feature values with the exact
+    splitter) — also the semantics used to score PR-3-era persisted states,
+    whose trees split on *binned* inputs (``input_space == "binned"``).
+
+    With ``backend="auto"`` and the real ``lightgbm`` package installed, fit
+    and predict delegate to a native booster; otherwise this engine runs.
     """
 
     def __init__(self, n_estimators: int = 60, learning_rate: float = 0.1,
-                 max_depth: int = 4, max_bins: int = 32, subsample: float = 0.9, seed: int = 0):
-        super().__init__(n_estimators, learning_rate, max_depth, subsample, seed)
-        self.max_bins = max_bins
+                 max_depth: int = 4, max_bins: int = 32, subsample: float = 0.9,
+                 seed: int = 0, min_samples_leaf: int = 1,
+                 max_features: int | None = None, max_leaves: int = 15,
+                 reg_lambda: float = 1e-3, tree_method: str = "hist",
+                 backend: str = "auto"):
+        super().__init__(n_estimators=n_estimators, learning_rate=learning_rate,
+                         max_depth=max_depth, subsample=subsample, seed=seed,
+                         min_samples_leaf=min_samples_leaf, max_features=max_features,
+                         max_bins=max_bins, tree_method=tree_method)
+        if backend not in ("auto", "native", "python"):
+            raise ValueError(f"unsupported backend: {backend!r}")
+        self.max_leaves = max_leaves
+        self.reg_lambda = reg_lambda
+        self.backend = backend
         self._bin_edges: list[np.ndarray] = []
 
-    def _bin(self, X: np.ndarray, fit: bool) -> np.ndarray:
+    def _growth_params(self) -> GrowthParams:
+        return GrowthParams(max_depth=self.max_depth,
+                            min_samples_leaf=self.min_samples_leaf,
+                            max_features=self.max_features,
+                            reg_lambda=self.reg_lambda,
+                            leaf_wise=True, max_leaves=self.max_leaves)
+
+    def fit(self, X, y) -> "LightGBMClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self.backend in ("auto", "native") and native.HAS_LIGHTGBM:  # pragma: no cover
+            self._fit_native(X, _validate_binary(y))
+            return self
+        if self.backend == "native":  # pragma: no cover - needs lightgbm
+            native.fit_lightgbm_binary(X, y, n_estimators=0, learning_rate=0.0,
+                                       max_depth=0, max_leaves=0, max_bins=0,
+                                       subsample=0.0, min_samples_leaf=0,
+                                       reg_lambda=0.0, seed=0)  # raises RuntimeError
+        self._input_space = "raw"
+        super().fit(X, y)
+        return self
+
+    def _fit_hist(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                  rng: np.random.Generator) -> None:
+        binner = HistogramBinner(self.max_bins).fit(X)
+        self._bin_edges = binner.edges_
+        codes = binner.transform(X)
+        params = self._growth_params()
+        for _ in range(self.n_estimators):
+            p = _sigmoid(raw)
+            gradient = p - y
+            hessian = np.maximum(p * (1.0 - p), 1e-6)
+            idx = self._subsample_mask(rng, len(y))
+            tree_rng = np.random.default_rng(rng.integers(1 << 31))
+            tree = grow_regression_tree(codes[idx], binner.edges_, gradient[idx],
+                                        hessian[idx], params, tree_rng,
+                                        leaf_sign=-1.0)
+            raw += self.learning_rate * tree.predict_values(X)
+            self._trees.append(tree)
+
+    def _fit_exact(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                   rng: np.random.Generator) -> None:
+        """PR-3 reference algorithm: exact splits over binned feature values."""
+        binned = self._legacy_bin(X, fit=True)
+        self._input_space = "binned"
+        super()._fit_exact(binned, y, raw, rng)
+
+    def _legacy_bin(self, X: np.ndarray, fit: bool) -> np.ndarray:
         X = np.asarray(X, dtype=float)
         if fit:
             self._bin_edges = []
@@ -129,52 +321,130 @@ class LightGBMClassifier(GradientBoostingClassifier):
             binned[:, j] = np.searchsorted(self._bin_edges[j], X[:, j])
         return binned
 
-    def fit(self, X, y) -> "LightGBMClassifier":
-        binned = self._bin(np.atleast_2d(np.asarray(X, dtype=float)), fit=True)
-        super().fit(binned, y)
-        return self
-
-    def decision_function(self, X) -> np.ndarray:
-        binned = self._bin(np.atleast_2d(np.asarray(X, dtype=float)), fit=False)
-        return super().decision_function(binned)
+    def _transform_inputs(self, X: np.ndarray) -> np.ndarray:
+        # PR-3-era states hold trees fitted on binned values; new trees split
+        # on raw feature space and need no preprocessing.
+        if self._input_space == "binned":
+            return self._legacy_bin(X, fit=False)
+        return X
 
     def get_state(self) -> dict:
         state = super().get_state()
+        if "native_model" in state:  # pragma: no cover - needs lightgbm
+            return state
         state["bin_edges"] = [np.asarray(edges, dtype=float) for edges in self._bin_edges]
+        state["input_space"] = self._input_space
         return state
 
     def set_state(self, state: dict) -> "LightGBMClassifier":
         super().set_state(state)
+        if "native_model" in state:  # pragma: no cover - needs lightgbm
+            return self
         self._bin_edges = [np.asarray(edges, dtype=float) for edges in state["bin_edges"]]
+        # States predating the histogram engine carry binned-space trees.
+        self._input_space = state.get("input_space", "binned")
         return self
+
+    # ------------------------------------------------------- native delegation
+    def _fit_native(self, X, y) -> None:  # pragma: no cover - needs lightgbm
+        self._native_booster = native.fit_lightgbm_binary(
+            X, y, n_estimators=self.n_estimators, learning_rate=self.learning_rate,
+            max_depth=self.max_depth, max_leaves=self.max_leaves,
+            max_bins=self.max_bins, subsample=self.subsample,
+            min_samples_leaf=self.min_samples_leaf, reg_lambda=self.reg_lambda,
+            seed=self.seed)
+        self._trees = []
+        self._stack = None
+
+    def _native_raw_scores(self, X) -> np.ndarray:  # pragma: no cover
+        return native.lightgbm_raw_scores(self._native_booster, X)
+
+    def _native_get_state(self) -> dict:  # pragma: no cover
+        return {"native_backend": "lightgbm",
+                "native_model": native.lightgbm_to_string(self._native_booster)}
+
+    def _set_native_state(self, state: dict) -> None:  # pragma: no cover
+        self._native_booster = native.lightgbm_from_string(state["native_model"])
+        self._trees = []
+        self._stack = None
 
 
 class XGBoostClassifier(_BoostedTreesState):
     """Second-order (Newton) boosted trees with L2 leaf regularisation.
 
-    Captures XGBoost's distinguishing feature relative to plain gradient
-    boosting: leaf values are fitted to ``-G / (H + lambda)`` using both the
-    gradient and the Hessian of the logistic loss.
+    Captures XGBoost's distinguishing features relative to plain gradient
+    boosting: every split is scored by the second-order gain
+    ``GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)`` and leaves take the Newton value
+    ``-G/(H+λ)`` using both the gradient and Hessian of the logistic loss.
+    ``tree_method="exact"`` runs the original PR-3 approximation instead (an
+    exact-splitter tree regressed onto the per-row Newton targets).  With
+    ``backend="auto"`` and the real ``xgboost`` package installed, fit and
+    predict delegate to a native booster.
     """
 
     def __init__(self, n_estimators: int = 50, learning_rate: float = 0.1,
-                 max_depth: int = 3, reg_lambda: float = 1.0, seed: int = 0):
+                 max_depth: int = 3, reg_lambda: float = 1.0, seed: int = 0,
+                 min_samples_leaf: int = 1, max_features: int | None = None,
+                 max_bins: int = 32, tree_method: str = "hist",
+                 backend: str = "auto"):
+        if tree_method not in ("hist", "exact"):
+            raise ValueError(f"unsupported tree_method: {tree_method!r}")
+        if backend not in ("auto", "native", "python"):
+            raise ValueError(f"unsupported backend: {backend!r}")
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.reg_lambda = reg_lambda
         self.seed = seed
-        self._trees: list[DecisionTreeRegressor] = []
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.tree_method = tree_method
+        self.backend = backend
+        self._trees: list[FlatTree] = []
+        self._stack: FlatTreeStack | None = None
         self._base_score = 0.0
 
     def fit(self, X, y) -> "XGBoostClassifier":
-        X = np.asarray(X, dtype=float)
+        X = np.atleast_2d(np.asarray(X, dtype=float))
         y = _validate_binary(y)
+        if self.backend in ("auto", "native") and native.HAS_XGBOOST:  # pragma: no cover
+            self._fit_native(X, y)
+            return self
         positive_rate = np.clip(y.mean(), 1e-6, 1.0 - 1e-6)
         self._base_score = float(np.log(positive_rate / (1.0 - positive_rate)))
         raw = np.full(len(y), self._base_score)
         rng = np.random.default_rng(self.seed)
         self._trees = []
+        self._stack = None
+        self._native_booster = None
+        if self.tree_method == "hist":
+            self._fit_hist(X, y, raw, rng)
+        else:
+            self._fit_exact(X, y, raw, rng)
+        return self
+
+    def _fit_hist(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                  rng: np.random.Generator) -> None:
+        binner = HistogramBinner(self.max_bins).fit(X)
+        codes = binner.transform(X)
+        params = GrowthParams(max_depth=self.max_depth,
+                              min_samples_leaf=self.min_samples_leaf,
+                              max_features=self.max_features,
+                              reg_lambda=self.reg_lambda)
+        for _ in range(self.n_estimators):
+            p = _sigmoid(raw)
+            gradient = p - y
+            hessian = np.maximum(p * (1.0 - p), 1e-6)
+            tree_rng = np.random.default_rng(rng.integers(1 << 31))
+            tree = grow_regression_tree(codes, binner.edges_, gradient, hessian,
+                                        params, tree_rng, leaf_sign=-1.0)
+            raw += self.learning_rate * tree.predict_values(X)
+            self._trees.append(tree)
+
+    def _fit_exact(self, X: np.ndarray, y: np.ndarray, raw: np.ndarray,
+                   rng: np.random.Generator) -> None:
+        """The original PR-3 algorithm: exact trees on per-row Newton targets."""
         for _ in range(self.n_estimators):
             p = _sigmoid(raw)
             gradient = p - y
@@ -182,51 +452,86 @@ class XGBoostClassifier(_BoostedTreesState):
             # Newton step target; the Hessian also regularises the leaf values.
             target = -gradient / (hessian + self.reg_lambda / max(len(y), 1))
             tree = DecisionTreeRegressor(max_depth=self.max_depth,
+                                         min_samples_leaf=self.min_samples_leaf,
+                                         max_features=self.max_features,
                                          rng=np.random.default_rng(rng.integers(1 << 31)))
             tree.fit(X, target)
             raw += self.learning_rate * tree.predict(X)
-            self._trees.append(tree)
-        return self
+            self._trees.append(tree.flat)
 
-    def decision_function(self, X) -> np.ndarray:
-        X = np.atleast_2d(np.asarray(X, dtype=float))
-        raw = np.full(len(X), self._base_score)
-        for tree in self._trees:
-            raw += self.learning_rate * tree.predict(X)
-        return raw
+    # ------------------------------------------------------- native delegation
+    def _fit_native(self, X, y) -> None:  # pragma: no cover - needs xgboost
+        self._native_booster = native.fit_xgboost_binary(
+            X, y, n_estimators=self.n_estimators, learning_rate=self.learning_rate,
+            max_depth=self.max_depth, max_bins=self.max_bins,
+            reg_lambda=self.reg_lambda, min_samples_leaf=self.min_samples_leaf,
+            seed=self.seed)
+        self._trees = []
+        self._stack = None
 
-    def predict_proba(self, X) -> np.ndarray:
-        positive = _sigmoid(self.decision_function(X))
-        return np.column_stack([1.0 - positive, positive])
+    def _native_raw_scores(self, X) -> np.ndarray:  # pragma: no cover
+        return native.xgboost_raw_scores(self._native_booster, X)
 
-    def predict(self, X) -> np.ndarray:
-        return (self.decision_function(X) >= 0.0).astype(int)
+    def _native_get_state(self) -> dict:  # pragma: no cover
+        payload = native.xgboost_to_bytes(self._native_booster)
+        return {"native_backend": "xgboost",
+                "native_model": base64.b64encode(payload).decode("ascii")}
+
+    def _set_native_state(self, state: dict) -> None:  # pragma: no cover
+        payload = base64.b64decode(state["native_model"].encode("ascii"))
+        self._native_booster = native.xgboost_from_bytes(payload)
+        self._trees = []
+        self._stack = None
 
 
 class AdaBoostClassifier:
-    """Discrete AdaBoost (SAMME) over depth-1 decision stumps."""
+    """Discrete AdaBoost (SAMME) over shallow decision stumps.
 
-    def __init__(self, n_estimators: int = 50, max_depth: int = 1, seed: int = 0):
+    Stumps are histogram-grown flat trees by default (one shared binning per
+    fit); ``tree_method="exact"`` uses the recursive exact-splitter reference.
+    Either way each stump predicts all rows in one batched descent.
+    """
+
+    def __init__(self, n_estimators: int = 50, max_depth: int = 1, seed: int = 0,
+                 max_bins: int = 32, tree_method: str = "hist"):
+        if tree_method not in ("hist", "exact"):
+            raise ValueError(f"unsupported tree_method: {tree_method!r}")
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.seed = seed
-        self._stumps: list[DecisionTreeClassifier] = []
+        self.max_bins = max_bins
+        self.tree_method = tree_method
+        self._stumps: list[FlatClassifierTree] = []
         self._alphas: list[float] = []
 
     def fit(self, X, y) -> "AdaBoostClassifier":
-        X = np.asarray(X, dtype=float)
+        X = np.atleast_2d(np.asarray(X, dtype=float))
         y = _validate_binary(y).astype(int)
         signed = 2 * y - 1
         rng = np.random.default_rng(self.seed)
         n = len(y)
         weights = np.full(n, 1.0 / n)
         self._stumps, self._alphas = [], []
+        if self.tree_method == "hist":
+            binner = HistogramBinner(self.max_bins).fit(X)
+            codes = binner.transform(X)
         for _ in range(self.n_estimators):
             # Weighted fitting via weighted resampling (keeps the tree code simple).
             idx = rng.choice(n, size=n, replace=True, p=weights)
-            stump = DecisionTreeClassifier(max_depth=self.max_depth,
-                                           rng=np.random.default_rng(rng.integers(1 << 31)))
-            stump.fit(X[idx], y[idx])
+            stump_rng = np.random.default_rng(rng.integers(1 << 31))
+            if self.tree_method == "hist":
+                sub_y = y[idx]
+                classes = np.unique(sub_y)
+                y_idx = np.searchsorted(classes, sub_y)
+                grown = grow_classification_tree(
+                    codes[idx], binner.edges_, y_idx, len(classes),
+                    GrowthParams(max_depth=self.max_depth), stump_rng)
+                stump = FlatClassifierTree(grown, classes)
+            else:
+                reference = DecisionTreeClassifier(max_depth=self.max_depth,
+                                                   rng=stump_rng)
+                reference.fit(X[idx], y[idx])
+                stump = FlatClassifierTree.from_state(reference.get_state())
             predictions = 2 * stump.predict(X).astype(int) - 1
             error = float(weights[predictions != signed].sum())
             error = np.clip(error, 1e-10, 1.0 - 1e-10)
@@ -264,6 +569,6 @@ class AdaBoostClassifier:
 
     def set_state(self, state: dict) -> "AdaBoostClassifier":
         self._alphas = [float(a) for a in state["alphas"]]
-        self._stumps = [DecisionTreeClassifier(max_depth=self.max_depth).set_state(stump)
+        self._stumps = [FlatClassifierTree.from_state(stump)
                         for stump in state["stumps"]]
         return self

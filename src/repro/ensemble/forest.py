@@ -1,10 +1,23 @@
-"""Random forest classifier (bagged Gini trees with feature subsampling)."""
+"""Random forest classifier (bagged Gini trees with feature subsampling).
+
+Trees are histogram-grown flat trees by default (quantile binning shared by
+the whole forest, one vectorised split search per node);
+``tree_method="exact"`` fits the recursive exact-splitter reference instead.
+Prediction stacks every tree's preorder arrays once
+(:class:`~repro.ensemble.engine.FlatTreeStack`) and descends the whole forest
+per batch; per-tree class probabilities are pre-aligned to the forest's
+global class order, and votes are accumulated tree-by-tree in the same
+left-to-right order as the original per-tree loop so results stay
+bit-identical to it.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ensemble.tree import DecisionTreeClassifier
+from repro.ensemble.engine import FlatTreeStack, GrowthParams, HistogramBinner, \
+    grow_classification_tree
+from repro.ensemble.tree import DecisionTreeClassifier, FlatClassifierTree
 
 __all__ = ["RandomForestClassifier"]
 
@@ -14,14 +27,20 @@ class RandomForestClassifier:
 
     def __init__(self, n_estimators: int = 50, max_depth: int = 6,
                  max_features: str | int | None = "sqrt", min_samples_leaf: int = 1,
-                 seed: int = 0):
+                 seed: int = 0, max_bins: int = 32, tree_method: str = "hist"):
+        if tree_method not in ("hist", "exact"):
+            raise ValueError(f"unsupported tree_method: {tree_method!r}")
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.max_features = max_features
         self.min_samples_leaf = min_samples_leaf
         self.seed = seed
-        self._trees: list[DecisionTreeClassifier] = []
+        self.max_bins = max_bins
+        self.tree_method = tree_method
+        self._trees: list[FlatClassifierTree] = []
         self.classes_: np.ndarray | None = None
+        self._stack: FlatTreeStack | None = None
+        self._aligned: list[np.ndarray] = []
 
     def _resolve_max_features(self, n_features: int) -> int | None:
         if self.max_features is None:
@@ -39,30 +58,66 @@ class RandomForestClassifier:
         rng = np.random.default_rng(self.seed)
         max_features = self._resolve_max_features(X.shape[1])
         self._trees = []
+        self._invalidate_stack()
         n = len(y)
+        if self.tree_method == "hist":
+            binner = HistogramBinner(self.max_bins).fit(X)
+            codes = binner.transform(X)
+            params = GrowthParams(max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf,
+                                  max_features=max_features)
         for _ in range(self.n_estimators):
             idx = rng.choice(n, size=n, replace=True)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=max_features,
-                rng=np.random.default_rng(rng.integers(1 << 31)),
-            )
-            tree.fit(X[idx], y[idx])
-            self._trees.append(tree)
+            tree_rng = np.random.default_rng(rng.integers(1 << 31))
+            if self.tree_method == "hist":
+                sub_y = y[idx]
+                classes = np.unique(sub_y)
+                y_idx = np.searchsorted(classes, sub_y)
+                grown = grow_classification_tree(codes[idx], binner.edges_,
+                                                 y_idx, len(classes),
+                                                 params, tree_rng)
+                self._trees.append(FlatClassifierTree(grown, classes))
+            else:
+                reference = DecisionTreeClassifier(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=max_features,
+                    rng=tree_rng,
+                )
+                reference.fit(X[idx], y[idx])
+                self._trees.append(FlatClassifierTree.from_state(reference.get_state()))
         return self
+
+    def _invalidate_stack(self) -> None:
+        self._stack = None
+        self._aligned = []
+
+    def _build_stack(self) -> None:
+        """Stack all trees and pre-align their leaf rows to the global classes.
+
+        Bootstrap samples may miss classes, so each tree's value rows are
+        scattered into the forest-wide class columns (disjoint columns — the
+        scatter is bitwise-exact, no arithmetic involved).
+        """
+        n_classes = len(self.classes_)
+        self._aligned = []
+        for tree in self._trees:
+            columns = np.searchsorted(self.classes_, tree.classes_)
+            aligned = np.zeros((tree.flat.n_nodes, n_classes))
+            aligned[:, columns] = tree.flat.values
+            self._aligned.append(aligned)
+        self._stack = FlatTreeStack([tree.flat for tree in self._trees])
 
     def predict_proba(self, X) -> np.ndarray:
         if not self._trees:
             raise RuntimeError("forest has not been fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self._stack is None:
+            self._build_stack()
+        node = self._stack.apply(X)                 # (n_trees, n_rows) global idx
         votes = np.zeros((len(X), len(self.classes_)))
-        for tree in self._trees:
-            probs = tree.predict_proba(X)
-            # Align tree classes (which may be a subset after bootstrap) with ours.
-            for j, cls in enumerate(tree.classes_):
-                column = np.flatnonzero(self.classes_ == cls)[0]
-                votes[:, column] += probs[:, j]
+        for t, (aligned, root) in enumerate(zip(self._aligned, self._stack.roots)):
+            votes += aligned[node[t] - root]
         return votes / len(self._trees)
 
     def predict(self, X) -> np.ndarray:
@@ -79,6 +134,7 @@ class RandomForestClassifier:
 
     def set_state(self, state: dict) -> "RandomForestClassifier":
         self.classes_ = np.asarray(state["classes"])
-        self._trees = [DecisionTreeClassifier(max_depth=self.max_depth).set_state(tree)
+        self._trees = [FlatClassifierTree.from_state(tree)
                        for tree in state["trees"]]
+        self._invalidate_stack()
         return self

@@ -1,0 +1,116 @@
+"""Optional native LightGBM / XGBoost backends, guarded at import.
+
+The repo's own histogram engine (:mod:`repro.ensemble.engine`) is the default
+and the only hard dependency; when the real ``lightgbm`` / ``xgboost``
+packages happen to be installed, the boosted heads can delegate fitting and
+scoring to them (``backend="auto"`` picks them up, ``backend="native"``
+requires them).  When the packages are absent — the normal case for this
+repo's pinned environment — everything here degrades silently to the numpy
+engine: ``HAS_LIGHTGBM`` / ``HAS_XGBOOST`` are ``False`` and the heads never
+call into this module's fit/score helpers.
+
+Native boosters cannot emit the preorder node arrays of the persistence
+contract, so their ``get_state`` uses a documented escape hatch: the state
+dict carries ``{"native_backend": ..., "native_model": <model string>}``
+instead of ``"trees"``, and ``set_state`` dispatches on which key is present.
+Loading a native-format state on a machine without the native package raises
+a clear error rather than guessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only when lightgbm is installed
+    import lightgbm as _lightgbm
+except ImportError:
+    _lightgbm = None
+
+try:  # pragma: no cover - exercised only when xgboost is installed
+    import xgboost as _xgboost
+except ImportError:
+    _xgboost = None
+
+HAS_LIGHTGBM = _lightgbm is not None
+HAS_XGBOOST = _xgboost is not None
+
+__all__ = [
+    "HAS_LIGHTGBM", "HAS_XGBOOST",
+    "fit_lightgbm_binary", "lightgbm_raw_scores",
+    "lightgbm_to_string", "lightgbm_from_string",
+    "fit_xgboost_binary", "xgboost_raw_scores",
+    "xgboost_to_bytes", "xgboost_from_bytes",
+]
+
+
+def _require(module, name: str):
+    if module is None:
+        raise RuntimeError(
+            f"the native {name} backend was requested but {name} is not "
+            f"installed; use backend='auto' (or 'python') to fall back to the "
+            f"built-in histogram engine")
+    return module
+
+
+# ------------------------------------------------------------------ lightgbm
+def fit_lightgbm_binary(X, y, *, n_estimators: int, learning_rate: float,
+                        max_depth: int, max_leaves: int, max_bins: int,
+                        subsample: float, min_samples_leaf: int, reg_lambda: float,
+                        seed: int):  # pragma: no cover - needs lightgbm
+    lgb = _require(_lightgbm, "lightgbm")
+    dataset = lgb.Dataset(np.asarray(X, dtype=float), label=np.asarray(y, dtype=float),
+                          params={"max_bin": max_bins})
+    params = {
+        "objective": "binary", "verbosity": -1, "seed": seed,
+        "learning_rate": learning_rate, "num_leaves": max_leaves,
+        "max_depth": max_depth, "bagging_fraction": subsample,
+        "bagging_freq": 1 if subsample < 1.0 else 0,
+        "min_data_in_leaf": min_samples_leaf, "lambda_l2": reg_lambda,
+    }
+    return lgb.train(params, dataset, num_boost_round=n_estimators)
+
+
+def lightgbm_raw_scores(booster, X) -> np.ndarray:  # pragma: no cover
+    return np.asarray(booster.predict(np.asarray(X, dtype=float), raw_score=True),
+                      dtype=float)
+
+
+def lightgbm_to_string(booster) -> str:  # pragma: no cover
+    return booster.model_to_string()
+
+
+def lightgbm_from_string(model: str):  # pragma: no cover
+    lgb = _require(_lightgbm, "lightgbm")
+    return lgb.Booster(model_str=model)
+
+
+# ------------------------------------------------------------------- xgboost
+def fit_xgboost_binary(X, y, *, n_estimators: int, learning_rate: float,
+                       max_depth: int, max_bins: int, reg_lambda: float,
+                       min_samples_leaf: int, seed: int):  # pragma: no cover
+    xgb = _require(_xgboost, "xgboost")
+    matrix = xgb.DMatrix(np.asarray(X, dtype=float), label=np.asarray(y, dtype=float))
+    params = {
+        "objective": "binary:logistic", "tree_method": "hist",
+        "max_bin": max_bins, "eta": learning_rate, "max_depth": max_depth,
+        "lambda": reg_lambda, "min_child_weight": min_samples_leaf,
+        "seed": seed, "verbosity": 0,
+    }
+    return xgb.train(params, matrix, num_boost_round=n_estimators)
+
+
+def xgboost_raw_scores(booster, X) -> np.ndarray:  # pragma: no cover
+    xgb = _require(_xgboost, "xgboost")
+    return np.asarray(booster.predict(xgb.DMatrix(np.asarray(X, dtype=float)),
+                                      output_margin=True), dtype=float)
+
+
+def xgboost_to_bytes(booster) -> bytes:  # pragma: no cover
+    return bytes(booster.save_raw(raw_format="ubj"))
+
+
+def xgboost_from_bytes(payload: bytes):  # pragma: no cover
+    xgb = _require(_xgboost, "xgboost")
+    booster = xgb.Booster()
+    booster.load_model(bytearray(payload))
+    return booster

@@ -1,4 +1,13 @@
-"""CART decision trees: a regressor (for boosting) and a classifier."""
+"""CART decision trees: a regressor (for boosting) and a classifier.
+
+These classes keep the *exact* splitter — every distinct threshold of every
+feature scored on the raw rows — and serve as the reference implementation
+the histogram engine (:mod:`repro.ensemble.engine`) is validated against.
+Prediction, however, is batched: fitted trees are flattened into preorder
+arrays (:class:`~repro.ensemble.engine.FlatTree`) and descended iteratively
+for all rows at once, bit-identical to the recursive ``_Node`` walk (which
+remains available as ``predict_recursive`` / ``predict_proba_recursive``).
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DecisionTreeRegressor", "DecisionTreeClassifier"]
+from repro.ensemble.engine import FlatTree
+
+__all__ = ["DecisionTreeRegressor", "DecisionTreeClassifier", "FlatClassifierTree"]
 
 
 @dataclass
@@ -36,6 +47,7 @@ class _BaseTree:
         self.max_features = max_features
         self.rng = rng or np.random.default_rng(0)
         self._root: _Node | None = None
+        self._flat: FlatTree | None = None
 
     # Subclasses provide impurity and leaf-value computation.
     def _impurity(self, y: np.ndarray) -> float:
@@ -52,6 +64,7 @@ class _BaseTree:
         if len(X) != len(y):
             raise ValueError("X and y must have the same number of rows")
         self._n_features = X.shape[1]
+        self._flat = None                       # invalidate before regrowing
         self._root = self._grow(X, y, depth=0)
 
     def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
@@ -181,18 +194,34 @@ class DecisionTreeRegressor(_BaseTree):
 
     def fit(self, X, y) -> "DecisionTreeRegressor":
         self._fit(np.asarray(X, dtype=float), np.asarray(y, dtype=float))
+        self._flat = FlatTree.from_state(self.get_state())
         return self
 
     def predict(self, X) -> np.ndarray:
+        if self._flat is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._flat.predict_values(X)
+
+    def predict_recursive(self, X) -> np.ndarray:
+        """Reference per-row recursive descent (bit-identical to ``predict``)."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         return np.array([self._predict_row(row) for row in X])
 
+    @property
+    def flat(self) -> FlatTree:
+        if self._flat is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._flat
+
     def get_state(self) -> dict:
         """Serializable fitted state (preorder node arrays)."""
+        if self._flat is not None:
+            return self._flat.get_state()
         return self._structure_arrays(lambda v: 0.0 if v is None else float(v))
 
     def set_state(self, state: dict) -> "DecisionTreeRegressor":
         self._load_structure_arrays(state, float)
+        self._flat = FlatTree.from_state(state)
         return self
 
 
@@ -221,9 +250,16 @@ class DecisionTreeClassifier(_BaseTree):
         self._n_classes = len(self.classes_)
         self._class_to_index = {cls: i for i, cls in enumerate(self.classes_)}
         self._fit(np.asarray(X, dtype=float), y)
+        self._flat = FlatTree.from_state(self.get_state())
         return self
 
     def predict_proba(self, X) -> np.ndarray:
+        if self._flat is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._flat.predict_values(X)
+
+    def predict_proba_recursive(self, X) -> np.ndarray:
+        """Reference per-row recursive descent (bit-identical to ``predict_proba``)."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         return np.vstack([self._predict_row(row) for row in X])
 
@@ -231,11 +267,21 @@ class DecisionTreeClassifier(_BaseTree):
         probs = self.predict_proba(X)
         return self.classes_[np.argmax(probs, axis=1)]
 
+    @property
+    def flat(self) -> FlatTree:
+        if self._flat is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._flat
+
     def get_state(self) -> dict:
         """Serializable fitted state (preorder node arrays + class labels)."""
-        n_classes = self._n_classes
-        state = self._structure_arrays(
-            lambda v: np.zeros(n_classes) if v is None else np.asarray(v, dtype=float))
+        if self._flat is not None:
+            state = self._flat.get_state()
+        else:
+            n_classes = self._n_classes
+            state = self._structure_arrays(
+                lambda v: np.zeros(n_classes) if v is None else np.asarray(v, dtype=float))
+        state = dict(state)
         state["classes"] = np.asarray(self.classes_)
         return state
 
@@ -244,4 +290,40 @@ class DecisionTreeClassifier(_BaseTree):
         self._n_classes = len(self.classes_)
         self._class_to_index = {cls: i for i, cls in enumerate(self.classes_)}
         self._load_structure_arrays(state, lambda row: np.asarray(row, dtype=float))
+        self._flat = FlatTree.from_state(state)
         return self
+
+
+class FlatClassifierTree:
+    """A fitted classification tree held purely as flat arrays plus labels.
+
+    This is what the ensemble heads store internally: either grown directly
+    by the histogram engine or loaded verbatim from a PR-3-era preorder
+    state.  It shares :class:`DecisionTreeClassifier`'s ``get_state`` format
+    (node arrays + ``classes``), so the two are interchangeable on disk.
+    """
+
+    __slots__ = ("_flat", "classes_")
+
+    def __init__(self, flat: FlatTree, classes):
+        self._flat = flat
+        self.classes_ = np.asarray(classes)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlatClassifierTree":
+        return cls(FlatTree.from_state(state), state["classes"])
+
+    def get_state(self) -> dict:
+        state = dict(self._flat.get_state())
+        state["classes"] = np.asarray(self.classes_)
+        return state
+
+    @property
+    def flat(self) -> FlatTree:
+        return self._flat
+
+    def predict_proba(self, X) -> np.ndarray:
+        return self._flat.predict_values(X)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

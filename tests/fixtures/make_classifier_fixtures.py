@@ -1,0 +1,61 @@
+"""Regenerate the golden classifier-state fixtures.
+
+The fixtures under ``tests/fixtures/classifier_states/`` pin the PR-3-era
+``get_state`` format (preorder node arrays for every tree head, weight lists
+for the MLP) together with the exact predictions each fitted head produced
+when the fixtures were written.  ``tests/test_ensemble_persistence.py`` loads
+them through the current engine and asserts bit-for-bit prediction parity, so
+any change to the state layout or to ``set_state`` semantics that would break
+deployed PR-3 model directories fails loudly.
+
+They were generated from the pre-histogram-engine recursive tree code and
+must NOT be regenerated casually — rewriting them with a newer engine would
+silently drop the backward-compatibility guarantee they exist to enforce.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/make_classifier_fixtures.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.persistence import save_state
+from repro.core.classifier import CLASSIFIER_FACTORIES, AccountClassificationModule
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "classifier_states"
+SEED = 7
+
+
+def calibrated_dataset(n: int = 240, seed: int = SEED):
+    """A deterministic stand-in for the calibrated ``[P_g, P_l]`` pairs."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    gsg = np.clip(0.5 + 0.35 * (labels * 2 - 1) + rng.normal(scale=0.22, size=n), 0.0, 1.0)
+    ldg = np.clip(0.5 + 0.28 * (labels * 2 - 1) + rng.normal(scale=0.3, size=n), 0.0, 1.0)
+    calibrated = np.column_stack([gsg, ldg])
+    eval_rng = np.random.default_rng(seed + 1)
+    X_eval = eval_rng.uniform(0.0, 1.0, size=(64, 2))
+    return calibrated, labels, X_eval
+
+
+def main() -> None:
+    calibrated, labels, X_eval = calibrated_dataset()
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    golden: dict[str, np.ndarray] = {
+        "X_fit": calibrated, "labels": labels, "X_eval": X_eval}
+    for name in sorted(CLASSIFIER_FACTORIES):
+        module = AccountClassificationModule(name, seed=SEED).fit(calibrated, labels)
+        save_state(FIXTURE_DIR / name, module.get_state())
+        golden[f"{name}_proba"] = module.predict_proba(X_eval)
+        golden[f"{name}_predict"] = module.predict(X_eval)
+    np.savez(FIXTURE_DIR / "golden_predictions.npz", **golden)
+    print(f"wrote {len(CLASSIFIER_FACTORIES)} state dirs + golden predictions "
+          f"to {FIXTURE_DIR}")
+
+
+if __name__ == "__main__":
+    main()
