@@ -275,11 +275,8 @@ class LightGBMClassifier(GradientBoostingClassifier):
         if self.backend in ("auto", "native") and native.HAS_LIGHTGBM:  # pragma: no cover
             self._fit_native(X, _validate_binary(y))
             return self
-        if self.backend == "native":  # pragma: no cover - needs lightgbm
-            native.fit_lightgbm_binary(X, y, n_estimators=0, learning_rate=0.0,
-                                       max_depth=0, max_leaves=0, max_bins=0,
-                                       subsample=0.0, min_samples_leaf=0,
-                                       reg_lambda=0.0, seed=0)  # raises RuntimeError
+        if self.backend == "native":
+            native.require_lightgbm()
         self._input_space = "raw"
         super().fit(X, y)
         return self
@@ -411,6 +408,8 @@ class XGBoostClassifier(_BoostedTreesState):
         if self.backend in ("auto", "native") and native.HAS_XGBOOST:  # pragma: no cover
             self._fit_native(X, y)
             return self
+        if self.backend == "native":
+            native.require_xgboost()
         positive_rate = np.clip(y.mean(), 1e-6, 1.0 - 1e-6)
         self._base_score = float(np.log(positive_rate / (1.0 - positive_rate)))
         raw = np.full(len(y), self._base_score)

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ensemble.engine import FlatTreeStack, GrowthParams, HistogramBinner, \
-    grow_classification_tree
+from repro.ensemble.engine import FlatTree, FlatTreeStack, GrowthParams, \
+    HistogramBinner, grow_classification_tree
 from repro.ensemble.tree import DecisionTreeClassifier, FlatClassifierTree
 
 __all__ = ["RandomForestClassifier"]
@@ -97,16 +97,23 @@ class RandomForestClassifier:
 
         Bootstrap samples may miss classes, so each tree's value rows are
         scattered into the forest-wide class columns (disjoint columns — the
-        scatter is bitwise-exact, no arithmetic involved).
+        scatter is bitwise-exact, no arithmetic involved).  The stack is built
+        from class-aligned tree copies, not the raw trees: per-tree ``values``
+        widths differ when a tree saw a class subset, and
+        :class:`FlatTreeStack` needs uniform rows to concatenate.
         """
         n_classes = len(self.classes_)
         self._aligned = []
+        stackable = []
         for tree in self._trees:
             columns = np.searchsorted(self.classes_, tree.classes_)
             aligned = np.zeros((tree.flat.n_nodes, n_classes))
             aligned[:, columns] = tree.flat.values
             self._aligned.append(aligned)
-        self._stack = FlatTreeStack([tree.flat for tree in self._trees])
+            stackable.append(FlatTree(tree.flat.feature, tree.flat.threshold,
+                                      tree.flat.left, tree.flat.right,
+                                      aligned, tree.flat.n_features))
+        self._stack = FlatTreeStack(stackable)
 
     def predict_proba(self, X) -> np.ndarray:
         if not self._trees:

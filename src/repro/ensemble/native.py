@@ -36,6 +36,7 @@ HAS_XGBOOST = _xgboost is not None
 
 __all__ = [
     "HAS_LIGHTGBM", "HAS_XGBOOST",
+    "require_lightgbm", "require_xgboost",
     "fit_lightgbm_binary", "lightgbm_raw_scores",
     "lightgbm_to_string", "lightgbm_from_string",
     "fit_xgboost_binary", "xgboost_raw_scores",
@@ -50,6 +51,16 @@ def _require(module, name: str):
             f"installed; use backend='auto' (or 'python') to fall back to the "
             f"built-in histogram engine")
     return module
+
+
+def require_lightgbm() -> None:
+    """Raise the standard missing-package error unless lightgbm is installed."""
+    _require(_lightgbm, "lightgbm")
+
+
+def require_xgboost() -> None:
+    """Raise the standard missing-package error unless xgboost is installed."""
+    _require(_xgboost, "xgboost")
 
 
 # ------------------------------------------------------------------ lightgbm
